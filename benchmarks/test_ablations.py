@@ -1,0 +1,5 @@
+"""Design-choice ablations: lazy release, phase exclusivity, cache model."""
+
+
+def test_design_ablations(check):
+    check("ablations")

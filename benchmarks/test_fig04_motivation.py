@@ -1,0 +1,10 @@
+"""Figure 4 (motivation): HostCC and ShRing degrade under dynamic
+conditions — slow reactive response and fixed-buffer CCA triggering."""
+
+
+def test_fig04a_dynamic_flow_distribution(check):
+    check("fig04a")
+
+
+def test_fig04b_network_burst(check):
+    check("fig04b")

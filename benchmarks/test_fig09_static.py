@@ -1,0 +1,6 @@
+"""Figure 9: throughput + LLC miss rate vs packet size under static load,
+for eRPC(DPDK), eRPC(RDMA) and LineFS panels."""
+
+
+def test_fig09_static_sweep(check):
+    check("fig09")

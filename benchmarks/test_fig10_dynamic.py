@@ -1,0 +1,10 @@
+"""Figure 10: end-to-end comparison under dynamic flow distribution and
+network burst, all four architectures."""
+
+
+def test_fig10a_dynamic_flow_distribution(check):
+    check("fig10a")
+
+
+def test_fig10b_network_burst(check):
+    check("fig10b")

@@ -1,0 +1,5 @@
+"""Figure 11: CEIO fast/slow path bandwidth vs perftest ib_write_bw."""
+
+
+def test_fig11_path_bandwidth(check):
+    check("fig11")

@@ -1,0 +1,5 @@
+"""Figure 12: thousand-flow UD churn and the active-flow strategy."""
+
+
+def test_fig12_flow_scaling(check):
+    check("fig12")

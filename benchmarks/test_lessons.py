@@ -1,0 +1,5 @@
+"""§6.4 lessons: zero-copy necessity and transport agnosticism."""
+
+
+def test_lessons_learned(check):
+    check("lessons")

@@ -1,0 +1,5 @@
+"""§6.3 negative results: low memory pressure and jumbo frames."""
+
+
+def test_limited_benefit_scenarios(check):
+    check("limits")

@@ -1,0 +1,5 @@
+"""Table 2: P99/P99.9 latency under the 512 B echo workload."""
+
+
+def test_table2_tail_latency(check):
+    check("table2")

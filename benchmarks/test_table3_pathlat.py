@@ -1,0 +1,5 @@
+"""Table 3: ib_write_lat latency of the fast and slow paths."""
+
+
+def test_table3_path_latency(check):
+    check("table3")

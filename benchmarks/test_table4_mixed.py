@@ -1,0 +1,5 @@
+"""Table 4: mixed CPU-involved/CPU-bypass flows and the CEIO ablations."""
+
+
+def test_table4_mixed_flows(check):
+    check("table4")

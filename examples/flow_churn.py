@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Thousand-flow churn: CEIO's active-flow strategy under QP churn.
+
+RDMA UD mode, 512 B echo: 16 queue pairs are active at any instant out of
+a much larger registered set, and the active set is reshuffled every time
+slot (the Figure 12 methodology). Shows how the fast-path share collapses
+once the steering-table scan can no longer keep up with the churn.
+
+Run:  python examples/flow_churn.py
+"""
+
+from repro.experiments.report import render_table
+from repro.sim.units import US
+from repro.workloads import ChurnConfig, UdChurnScenario
+
+
+def main() -> None:
+    rows = []
+    for total in (32, 512, 1024):
+        for slot in (100 * US, 1000 * US):
+            result = (UdChurnScenario(ChurnConfig(total_flows=total,
+                                                  time_slot=slot, seed=3))
+                      .build().run())
+            rows.append([total, slot / US, result.aggregate_mpps,
+                         f"{result.fast_fraction * 100:.0f}%"])
+            print(f"  ... {total} flows @ {slot / US:.0f}us slots: "
+                  f"{result.aggregate_mpps:.1f} Mpps, "
+                  f"{result.fast_fraction * 100:.0f}% fast path")
+    print()
+    print(render_table(["registered flows", "slot us", "Mpps",
+                        "fast-path share"], rows))
+    print()
+    print("With slow churn every active flow regains its credits in time;")
+    print("fast churn over ~1K flows outruns the bounded-rate ARM scan and")
+    print("traffic shifts to the (elastically buffered) slow path.")
+
+
+if __name__ == "__main__":
+    main()

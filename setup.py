@@ -1,0 +1,5 @@
+"""Legacy shim so `pip install -e .` works offline without PEP 517 wheels."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,17 @@
+"""Benchmark applications: eRPC/KV store, LineFS, echo, dperf, perftest."""
+
+from .dperf import DperfClient
+from .echo import EchoConfig, EchoServer, SharedEchoServer
+from .erpc import ErpcConfig, ErpcServer, RequestContext
+from .kvstore import KvStore, KvWorkload, kv_request_payload
+from .linefs import LineFsConfig, LineFsServer
+from .perftest import BwResult, LatResult, RdmaSink, ib_write_bw, ib_write_lat
+
+__all__ = [
+    "DperfClient",
+    "EchoConfig", "EchoServer", "SharedEchoServer",
+    "ErpcConfig", "ErpcServer", "RequestContext",
+    "KvStore", "KvWorkload", "kv_request_payload",
+    "LineFsConfig", "LineFsServer",
+    "BwResult", "LatResult", "RdmaSink", "ib_write_bw", "ib_write_lat",
+]

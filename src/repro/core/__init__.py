@@ -1,0 +1,24 @@
+"""CEIO — the paper's primary contribution.
+
+Credit-based flow control (§4.1), elastic on-NIC buffering with
+order-preserving SW rings and asynchronous DMA reads (§4.2), and the
+host-side driver APIs (§5).
+"""
+
+from .config import CeioConfig
+from .credit import CreditAccount, CreditController
+from .driver import CeioDriver
+from .elastic_buffer import ElasticBufferManager, FlowSlowBuffer
+from .runtime import CeioArchitecture, CeioFlowState
+from .steering import SteeringAction, SteeringRule, SteeringTable
+from .sw_ring import SwEntry, SwRing
+
+__all__ = [
+    "CeioConfig",
+    "CreditAccount", "CreditController",
+    "CeioDriver",
+    "ElasticBufferManager", "FlowSlowBuffer",
+    "CeioArchitecture", "CeioFlowState",
+    "SteeringAction", "SteeringRule", "SteeringTable",
+    "SwEntry", "SwRing",
+]

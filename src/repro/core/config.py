@@ -1,0 +1,73 @@
+"""CEIO tunables and ablation switches (§4, §6.3 Table 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.units import MS, US
+
+__all__ = ["CeioConfig"]
+
+
+@dataclass
+class CeioConfig:
+    """Knobs of the CEIO runtime. Defaults are the paper's full design;
+    the ``enable_*`` switches produce the "CEIO w/o optimization" ablations
+    of Table 4."""
+
+    #: Lazy credit release (§4.1): replenish only at message boundaries /
+    #: release batches. Off = eager per-packet release.
+    lazy_release: bool = True
+    #: Number of released buffers that forces replenishment even without a
+    #: message boundary (bounds credit latency for huge messages).
+    release_batch: int = 64
+    #: Active-flow credit reallocation (§4.1 Q3): donate credits of flows
+    #: stuck in the slow path to fast-path flows.
+    credit_reallocation: bool = True
+    #: Asynchronous slow-path DMA reads (§4.2). Off = synchronous fetch.
+    async_drain: bool = True
+    #: Phase exclusivity (§4.2): drain the slow ring fully before the flow's
+    #: fast path resumes. Off permits interleaving (breaks ordering).
+    phase_exclusivity: bool = True
+    #: Packets fetched per slow-path DMA read batch (CPU-involved flows:
+    #: small batches keep the queueing delay in check).
+    drain_batch: int = 32
+    #: Byte budget per DMA read batch for CPU-bypass flows: large
+    #: scatter-gather reads amortise the PCIe round trip, which is what
+    #: closes the fast/slow gap beyond 4 KB messages (Figure 11).
+    drain_batch_bytes: int = 64 * 1024
+    #: Host-resident prefetch window per flow: the drain keeps at most this
+    #: many fetched-but-unprocessed packets ahead of the application. Deep
+    #: enough to hide the PCIe read round-trip, shallow enough that drained
+    #: data never pressures the DDIO partition ahead of consumption.
+    drain_prefetch: int = 64
+    #: ns a flow must sit degraded before its released credits are donated.
+    donation_threshold: float = 100 * US
+    #: Idle time after which a flow is considered inactive (§4.1: "a simple
+    #: timer ... e.g., 1 second" — scaled to simulation horizons).
+    inactive_timeout: float = 1 * MS
+    #: Period of the round-robin re-activation timer (§4.1 Q3 backup).
+    reactivation_period: float = 50 * US
+    #: RED-style slow-path guard (§4.1 Q2: "CCA is triggered when NIC cores
+    #: detect that the network's production rate exceeds the consumption
+    #: rate ... in the slow path"): ECN marking probability ramps linearly
+    #: from 0 at ``cca_mark_min_bytes`` of per-flow slow-path backlog to 1
+    #: at ``cca_mark_max_bytes``. Keeps the standing queue (and thus tail
+    #: latency) small without ShRing-style collapse.
+    cca_mark_min_bytes: int = 4 * 1024
+    cca_mark_max_bytes: int = 32 * 1024
+    #: Guard thresholds for CPU-bypass flows: throughput-oriented traffic
+    #: is allowed a much deeper elastic backlog (the 16 GB on-NIC memory
+    #: exists precisely to absorb it) before the CCA is triggered.
+    cca_mark_min_bytes_bypass: int = 256 * 1024
+    cca_mark_max_bytes_bypass: int = 2 * 1024 * 1024
+    #: Bypass flows whose messages are smaller than this are treated as
+    #: latency-class (shallow guard band): small-message RDMA traffic is
+    #: request/response-like, not bulk transfer. §6.3's note that "users
+    #: may need to adjust time-sensitive thresholds" applies here.
+    latency_class_message_bytes: int = 4096
+    #: Added per-packet latency of the fast path (RMT match + credit check
+    #: on the NIC pipeline). Pipelined: costs latency, not throughput —
+    #: Table 3 measures 1.10-1.48x over raw RDMA write, Figure 11 shows no
+    #: bandwidth loss.
+    fast_path_overhead_ns: float = 180.0

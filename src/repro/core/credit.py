@@ -1,0 +1,313 @@
+"""Credit-based flow controller (§4.1, Algorithm 1).
+
+Credits are the unit of LLC occupancy: one credit is one I/O buffer
+resident in the DDIO partition (Eq. 1: ``C_total = Size_LLC / Size_buf``).
+A packet admitted to the fast path *consumes* a credit; the CEIO driver
+*releases* credits once the application has processed a batch of messages
+(lazy release, §4.1).
+
+This module is pure bookkeeping — no simulation time — so Algorithm 1 can
+be unit- and property-tested in isolation. The runtime (:mod:`.runtime`)
+drives it from NIC events.
+
+Credit conservation invariant (checked by :meth:`CreditController.audit`):
+
+    sum(available) + sum(inflight) + reserve == C_total
+
+Algorithm 1 notes: the paper's pseudocode redistributes credits from the
+``n`` existing flows to ``m`` new flows, recording *owed credits*
+(``o_j^i``) when an existing flow's free credits fall short of its quota
+(it is then inserted into the set *I*), and repaying creditors first when
+such a flow later releases credits. We implement exactly that contract;
+quotas follow the updated fair share ``C_flow = C_total / (n + m)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["CreditAccount", "CreditController"]
+
+
+class CreditAccount:
+    """Per-flow credit state."""
+
+    __slots__ = ("flow_id", "available", "inflight", "owed", "donating",
+                 "last_activity")
+
+    def __init__(self, flow_id: int):
+        self.flow_id = flow_id
+        #: Credits the flow may consume right now.
+        self.available: float = 0.0
+        #: Credits consumed by fast-path packets not yet released.
+        self.inflight: int = 0
+        #: creditor flow id -> credits this flow still owes it (o_j^i).
+        self.owed: Dict[int, float] = {}
+        #: True while released credits are redirected to fast-path flows
+        #: (the §4.1 Q3 "active flow" reallocation).
+        self.donating: bool = False
+        self.last_activity: float = 0.0
+
+    @property
+    def owes(self) -> bool:
+        return any(v > 1e-9 for v in self.owed.values())
+
+    @property
+    def total_owed(self) -> float:
+        return sum(self.owed.values())
+
+
+class CreditController:
+    """Owns all credit accounts and implements Algorithm 1."""
+
+    def __init__(self, total_credits: int):
+        if total_credits <= 0:
+            raise ValueError("total credits must be positive")
+        self.total = float(total_credits)
+        self.accounts: Dict[int, CreditAccount] = {}
+        #: Credits not allocated to any flow (departed flows, donations with
+        #: no eligible recipient). The initial pool is the whole budget.
+        self.reserve: float = float(total_credits)
+        #: Credits still in flight on behalf of flows that were removed;
+        #: they return to the reserve as their buffers are released.
+        self._departed_inflight: int = 0
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def account(self, flow_id: int) -> CreditAccount:
+        return self.accounts[flow_id]
+
+    @property
+    def fair_share(self) -> float:
+        n = len(self.accounts)
+        return self.total / n if n else self.total
+
+    def audit(self) -> float:
+        """Total credits across accounts + reserve; must equal ``total``."""
+        return (sum(a.available + a.inflight for a in self.accounts.values())
+                + self.reserve + self._departed_inflight)
+
+    # ------------------------------------------------------------------
+    # Algorithm 1 — credit assignment (new flow arrival)
+    # ------------------------------------------------------------------
+    def add_flows(self, new_ids: Iterable[int]) -> List[CreditAccount]:
+        new_ids = [fid for fid in new_ids if fid not in self.accounts]
+        if not new_ids:
+            return []
+        existing = list(self.accounts.values())
+        n, m = len(existing), len(new_ids)
+        share = self.total / (n + m)  # line 2: C_flow
+
+        new_accounts = [CreditAccount(fid) for fid in new_ids]
+        for acct in new_accounts:
+            self.accounts[acct.flow_id] = acct
+
+        # Unallocated reserve funds the newcomers before existing flows are
+        # taxed (this also covers the bootstrap case n == 0).
+        needed = m * share
+        from_reserve = min(self.reserve, needed)
+        self.reserve -= from_reserve
+        for acct in new_accounts:
+            acct.available += from_reserve / m
+        needed -= from_reserve
+        if needed <= 1e-9 or n == 0:
+            return new_accounts
+
+        # Each existing flow's quota toward the newcomers (lines 3-8):
+        # ideally (m/n) * C_flow, scaled by how much reserve already paid.
+        quota = needed / n
+        for acct in existing:
+            give = min(acct.available, quota)
+            acct.available -= give
+            for newcomer in new_accounts:
+                newcomer.available += give / m
+            short = quota - give
+            if short > 1e-9:
+                # Lines 8, 12-13: record what this flow owes each newcomer.
+                for newcomer in new_accounts:
+                    acct.owed[newcomer.flow_id] = (
+                        acct.owed.get(newcomer.flow_id, 0.0) + short / m)
+        return new_accounts
+
+    def remove_flow(self, flow_id: int) -> None:
+        """Tear down a flow: its free credits go back to the reserve, debts
+        owed to it are forgiven, and credits it still holds in flight are
+        recovered into the reserve as they release (see :meth:`release`)."""
+        acct = self.accounts.pop(flow_id, None)
+        if acct is None:
+            return
+        self.reserve += acct.available
+        self._departed_inflight += acct.inflight
+        acct.available = 0.0
+        for other in self.accounts.values():
+            other.owed.pop(flow_id, None)
+
+    # ------------------------------------------------------------------
+    # Data-path operations
+    # ------------------------------------------------------------------
+    def consume(self, flow_id: int, now: float = 0.0) -> bool:
+        """Consume one credit for an admitted fast-path packet."""
+        acct = self.accounts.get(flow_id)
+        if acct is None or acct.available < 1.0:
+            return False
+        acct.available -= 1.0
+        acct.inflight += 1
+        acct.last_activity = now
+        return True
+
+    def consume_overdraft(self, flow_id: int, now: float = 0.0) -> None:
+        """Account a packet that was admitted *after* exhaustion (the RMT
+        rule still said fast because the ARM core had not polled yet).
+
+        ``available`` goes negative: the flow repays the overdraft out of
+        future releases before it can be considered credit-worthy again,
+        so poll lag cannot leak LLC occupancy over time."""
+        acct = self.accounts.get(flow_id)
+        if acct is None:
+            return
+        acct.available -= 1.0
+        acct.inflight += 1
+        acct.last_activity = now
+
+    def credits_exhausted(self, flow_id: int) -> bool:
+        acct = self.accounts.get(flow_id)
+        return acct is None or acct.available < 1.0
+
+    # ------------------------------------------------------------------
+    # Algorithm 1 — credit release (lines 16-25)
+    # ------------------------------------------------------------------
+    def release(self, flow_id: int, count: int, now: float = 0.0) -> None:
+        """Return ``count`` credits released by processed buffers.
+
+        Repayment order: debts to creditors first (lines 19-25), then the
+        flow keeps the remainder — unless it is *donating*, in which case
+        the remainder is spread over fast-path flows (§4.1 Q3).
+        """
+        if count <= 0:
+            return
+        acct = self.accounts.get(flow_id)
+        if acct is None:
+            # Departed flow's in-flight buffers finally freed.
+            recovered = min(count, self._departed_inflight)
+            self._departed_inflight -= recovered
+            self.reserve += recovered
+            return
+        # Over-release is a caller bug; clamp to preserve conservation.
+        released = min(count, acct.inflight)
+        if released <= 0:
+            return
+        acct.inflight -= released
+        acct.last_activity = now
+        gamma = float(released)
+        if acct.owes:
+            gamma = self._repay(acct, gamma)
+        if gamma <= 0:
+            return
+        if acct.donating:
+            # Repay the flow's own overdraft first — donating credits while
+            # in debt would strand the flow below zero forever.
+            if acct.available < 0:
+                repay = min(gamma, -acct.available)
+                acct.available += repay
+                gamma -= repay
+            if gamma > 0:
+                self._donate(acct, gamma)
+        else:
+            acct.available += gamma
+
+    def _repay(self, acct: CreditAccount, gamma: float) -> float:
+        creditors = [fid for fid, amt in acct.owed.items() if amt > 1e-9]
+        while creditors and gamma > 1e-9:
+            per = gamma / len(creditors)
+            remaining = []
+            for fid in creditors:
+                pay = min(acct.owed[fid], per)
+                acct.owed[fid] -= pay
+                gamma -= pay
+                target = self.accounts.get(fid)
+                if target is not None:
+                    target.available += pay
+                else:
+                    self.reserve += pay
+                if acct.owed[fid] > 1e-9:
+                    remaining.append(fid)
+            if len(remaining) == len(creditors):
+                break  # all creditors capped by per-share; avoid spinning
+            creditors = remaining
+        acct.owed = {fid: amt for fid, amt in acct.owed.items()
+                     if amt > 1e-9}
+        return max(0.0, gamma)
+
+    def _donate(self, donor: CreditAccount, gamma: float) -> None:
+        recipients = [a for a in self.accounts.values()
+                      if not a.donating and a.flow_id != donor.flow_id]
+        if not recipients:
+            self.reserve += gamma
+            return
+        per = gamma / len(recipients)
+        for acct in recipients:
+            acct.available += per
+
+    # ------------------------------------------------------------------
+    # Reallocation & reactivation (§4.1 Q3)
+    # ------------------------------------------------------------------
+    def set_donating(self, flow_id: int, donating: bool) -> None:
+        acct = self.accounts.get(flow_id)
+        if acct is not None:
+            acct.donating = donating
+
+    def grant_from_reserve(self, flow_id: int, amount: float) -> float:
+        """Grant up to ``amount`` credits funded by the reserve only."""
+        acct = self.accounts.get(flow_id)
+        if acct is None or amount <= 0:
+            return 0.0
+        granted = min(self.reserve, amount)
+        self.reserve -= granted
+        acct.available += granted
+        return granted
+
+    def reclaim(self, flow_id: int) -> float:
+        """Take an inactive flow's free credits into the reserve; they are
+        re-granted when the flow is reactivated."""
+        acct = self.accounts.get(flow_id)
+        if acct is None:
+            return 0.0
+        taken, acct.available = acct.available, 0.0
+        self.reserve += taken
+        return taken
+
+    def grant_share(self, flow_id: int, now: float = 0.0,
+                    target: Optional[float] = None) -> float:
+        """Top a (re)activated flow back up toward the fair share, funded by
+        the reserve first and then uniformly by other flows' free credits.
+        No debt is recorded — reactivation must not create obligations.
+
+        ``target`` overrides the naive all-flows fair share; the runtime
+        passes ``C_total / active_flows`` so that with thousands of mostly
+        idle flows an activated flow still gets a useful allowance.
+        """
+        acct = self.accounts.get(flow_id)
+        if acct is None:
+            return 0.0
+        if target is None:
+            target = self.fair_share
+        deficit = target - (acct.available + acct.inflight)
+        if deficit <= 0:
+            return 0.0
+        granted = min(self.reserve, deficit)
+        self.reserve -= granted
+        deficit -= granted
+        if deficit > 1e-9:
+            others = [a for a in self.accounts.values()
+                      if a.flow_id != flow_id and a.available > 1e-9]
+            if others:
+                per = deficit / len(others)
+                for other in others:
+                    take = min(other.available, per)
+                    other.available -= take
+                    granted += take
+        acct.available += granted
+        acct.last_activity = now
+        acct.donating = False
+        return granted

@@ -1,0 +1,168 @@
+"""The host-side CEIO driver (§5): ``recv`` / ``async_recv`` / ``post_recv``.
+
+The driver is what applications (or the DPDK/RDMA shims) link against. It
+polls the per-flow SW ring, initiates slow-path DMA reads, and performs
+**lazy credit release**: credits consumed by fast-path buffers are
+replenished only once the application has processed a *batch of messages*
+(§4.1) — per-packet releases are the ablation mode.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..net.packet import Flow
+from ..sim.stats import Counter
+
+__all__ = ["CeioDriver"]
+
+
+class CeioDriver:
+    def __init__(self, runtime):
+        self.runtime = runtime
+        self.sim = runtime.sim
+        self.config = runtime.config
+        #: flow_id -> fast-path buffers released but not yet credited.
+        self._release_accum: Dict[int, int] = {}
+        self.sync_fetches = Counter("ceio.sync_fetches")
+        self.async_fetches = Counter("ceio.async_fetches")
+
+    # ------------------------------------------------------------------
+    # Receive APIs
+    # ------------------------------------------------------------------
+    def async_recv(self, flow: Flow, max_packets: int) -> List:
+        """Non-blocking receive: return host-resident records immediately
+        and kick off DMA reads for slow-path entries in the background, so
+        the application overlaps fetches with processing (§4.2)."""
+        state = self.runtime.flow_state(flow.flow_id)
+        records = state.swring.pop_ready(max_packets)
+        if state.swring.has_nonresident:
+            self._start_drain(state, background=True)
+        return records
+
+    def recv(self, flow: Flow, max_packets: int):
+        """Process (blocking receive): wait until at least one record is
+        available, fetching slow-path entries synchronously if needed."""
+        state = self.runtime.flow_state(flow.flow_id)
+        while True:
+            records = state.swring.pop_ready(max_packets)
+            if records:
+                return records
+            if state.swring.has_nonresident:
+                self.sync_fetches.add(1)
+                yield from self._drain_once(state)
+                continue
+            # Nothing delivered yet: poll.
+            yield self.sim.timeout(self.runtime.poll_interval)
+
+    def post_recv(self, flow: Flow, buffers: int) -> None:
+        """Zero-copy support: the application donates ``buffers`` receive
+        buffers, growing the flow's descriptor budget."""
+        rx = self.runtime.flows[flow.flow_id]
+        rx.ring_entries += buffers
+
+    # ------------------------------------------------------------------
+    # Release + lazy credit replenishment
+    # ------------------------------------------------------------------
+    def release(self, records: List) -> None:
+        """Application finished these buffers. Fast-path buffers replenish
+        credits lazily: at message boundaries or every ``release_batch``."""
+        runtime = self.runtime
+        boundary_flows = set()
+        for record in records:
+            fid = record.flow.flow_id
+            rx = runtime.flows.get(fid)
+            if rx is not None:
+                rx.in_use -= 1
+            runtime.host.llc.release(record.key)
+            if record.path != "fast":
+                continue  # slow-path buffers never held credits
+            self._release_accum[fid] = self._release_accum.get(fid, 0) + 1
+            if not self.config.lazy_release:
+                boundary_flows.add(fid)
+            elif (record.packet.last_in_message
+                  or self._release_accum[fid] >= self.config.release_batch):
+                boundary_flows.add(fid)
+        for fid in boundary_flows:
+            self._replenish(fid)
+
+    def _replenish(self, fid: int) -> None:
+        count = self._release_accum.pop(fid, 0)
+        if count:
+            self.runtime.credits.release(fid, count, self.sim.now)
+            # Replenishment may make the flow upgrade-eligible.
+            self.runtime._touched.add(fid)
+
+    # ------------------------------------------------------------------
+    # Slow-path drains
+    # ------------------------------------------------------------------
+    def _start_drain(self, state, background: bool) -> None:
+        if state.draining:
+            return
+        state.draining = True
+        self.async_fetches.add(1)
+
+        batch = self._batch_size(state.flow)
+        prefetch = max(self.config.drain_prefetch, 3 * batch)
+        manager = self.runtime.buffer_manager
+        flow_id = state.flow.flow_id
+
+        def drain(sim):
+            # Up to two batch reads in flight: the PCIe round trip of one
+            # overlaps the wire serialisation of the next (this pipelining
+            # is what keeps the slow-path gap small for >=4 KB messages).
+            outstanding = []
+            try:
+                while state.swring.has_nonresident or outstanding:
+                    outstanding = [p for p in outstanding if not p.triggered]
+                    # Demand-driven prefetch: never run more than a window
+                    # ahead of the application, or drained data would evict
+                    # unread fast-path buffers from the DDIO partition.
+                    if (state.swring.ready_count < prefetch
+                            and len(outstanding) < 2):
+                        entries = state.swring.nonresident_head(batch)
+                        if entries:
+                            # Claim synchronously: the spawned process only
+                            # starts on the next tick, and an unclaimed
+                            # entry must not be selected twice.
+                            for entry in entries:
+                                entry.fetching = True
+                            outstanding.append(sim.process(
+                                manager.drain_batch(flow_id, entries),
+                                name="drain-batch"))
+                            continue
+                    if outstanding:
+                        yield sim.any_of(outstanding)
+                    else:
+                        yield sim.timeout(self.runtime.poll_interval)
+            finally:
+                state.draining = False
+                self.runtime.on_drain_complete(state)
+
+        self.sim.process(drain(self.sim), name=f"drain-f{state.flow.flow_id}")
+
+    def _batch_size(self, flow: Flow) -> int:
+        """Packets per DMA-read batch: latency-sized for CPU-involved
+        flows, byte-budget-sized for bypass flows (amortises the PCIe
+        round trip over large scatter-gather reads). Capped in bytes so a
+        single read never exceeds the PCIe burst window."""
+        frame = flow.message_payload + 42
+        cap = max(1, (96 * 1024) // frame)
+        if flow.is_cpu_involved:
+            return max(1, min(self.config.drain_batch, cap))
+        want = max(self.config.drain_batch,
+                   self.config.drain_batch_bytes // frame)
+        return max(1, min(want, cap))
+
+    def _drain_once(self, state):
+        """Synchronous single-batch drain (blocking ``recv`` and the
+        async-off ablation)."""
+        entries = state.swring.nonresident_head(
+            self._batch_size(state.flow))
+        if not entries:
+            yield self.sim.timeout(self.runtime.poll_interval)
+            return
+        yield from self.runtime.buffer_manager.drain_batch(
+            state.flow.flow_id, entries)
+        if not state.swring.has_nonresident:
+            self.runtime.on_drain_complete(state)

@@ -1,0 +1,400 @@
+"""The CEIO I/O architecture: NIC-side runtime + host-side driver (§3-§5).
+
+Wiring (Figure 5):
+
+- every registered flow gets a steering rule (initially fast path), a
+  credit account (Algorithm 1 assignment), and a SW ring;
+- ``on_packet`` follows the *current* steering rule — credits are debited
+  by bookkeeping, but rule flips happen in the ARM control loop that polls
+  steering counters, so a few packets can over-admit between polls exactly
+  as on real hardware (this is why CEIO's measured miss rate is ~1%, not
+  0%);
+- degraded flows buffer into on-NIC memory; the driver drains them with
+  (a)synchronous DMA reads and upgrades the flow back to the fast path
+  once the slow ring is empty and credits are available;
+- lazy credit release, donation of slow-path flows' credits, inactivity
+  reclamation, and round-robin reactivation implement §4.1's Q1-Q3.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List, Optional
+
+from ..hw import DmaWrite, Host
+from ..io_arch.base import FlowRx, IOArchitecture, RxRecord
+from ..net.packet import Flow, Packet
+from ..sim.stats import Counter
+from .config import CeioConfig
+from .credit import CreditController
+from .driver import CeioDriver
+from .elastic_buffer import ElasticBufferManager
+from .steering import SteeringAction, SteeringTable
+from .sw_ring import SwRing
+
+__all__ = ["CeioFlowState", "CeioArchitecture"]
+
+_keys = itertools.count(10**9)  # distinct from base-class key space
+
+
+class CeioFlowState:
+    """Per-flow runtime state beyond the generic FlowRx."""
+
+    __slots__ = ("flow", "swring", "draining", "degraded_since",
+                 "cca_marking", "inactive", "pinned_slow")
+
+    def __init__(self, flow: Flow):
+        self.flow = flow
+        self.swring = SwRing(flow.flow_id)
+        self.draining = False
+        self.degraded_since: Optional[float] = None
+        self.cca_marking = False
+        self.inactive = False
+        #: Diagnostics hook (Figure 11 / Table 3): hold the flow on the
+        #: slow path regardless of credits.
+        self.pinned_slow = False
+
+
+class CeioArchitecture(IOArchitecture):
+    name = "ceio"
+
+    def __init__(self, host: Host, config: Optional[CeioConfig] = None):
+        super().__init__(host)
+        self.config = config or CeioConfig()
+        self.credits = CreditController(host.total_credits)
+        self.steering = SteeringTable()
+        self.buffer_manager = ElasticBufferManager(host, self.config)
+        self.driver = CeioDriver(self)
+        self.states: Dict[int, CeioFlowState] = {}
+        self.buffer_manager.notify = self._notify_ready
+        self.buffer_manager.ack_deferred = (
+            lambda packet: self._accept(packet, extra_mark=True))
+        self.poll_interval = host.config.nic.arm_poll_interval
+        #: Flows with data-path activity since the last control tick — the
+        #: ARM loop only inspects these plus a rotating inactivity slice,
+        #: keeping the tick O(active flows) with thousands registered.
+        self._touched: set = set()
+        self._inactive_scan_pos = 0
+        self.fast_packets = Counter("ceio.fast_packets")
+        self.slow_packets = Counter("ceio.slow_packets")
+        self.overdraft = Counter("ceio.overdraft")
+        self.upgrades = Counter("ceio.upgrades")
+        self.degrades = Counter("ceio.degrades")
+        host.nic.arm.spawn_loop(self._control_tick,
+                                period=self.poll_interval, name="ceio-ctl")
+        host.nic.arm.spawn_loop(self._reactivate_tick,
+                                period=self.config.reactivation_period,
+                                name="ceio-react")
+        self._reactivation_cycle: List[int] = []
+        self._mark_rng = random.Random(0xCE10)
+
+    # ------------------------------------------------------------------
+    # Flow lifecycle
+    # ------------------------------------------------------------------
+    def register_flow(self, flow: Flow) -> FlowRx:
+        rx = super().register_flow(flow)
+        if flow.flow_id not in self.states:
+            self.states[flow.flow_id] = CeioFlowState(flow)
+            self.credits.add_flows([flow.flow_id])
+            self.steering.install(flow.flow_id, SteeringAction.FAST_PATH)
+        return rx
+
+    def unregister_flow(self, flow: Flow) -> None:
+        super().unregister_flow(flow)
+        self.states.pop(flow.flow_id, None)
+        self.credits.remove_flow(flow.flow_id)
+        self.steering.remove(flow.flow_id)
+
+    def flow_state(self, flow_id: int) -> CeioFlowState:
+        return self.states[flow_id]
+
+    # ------------------------------------------------------------------
+    # NIC data path
+    # ------------------------------------------------------------------
+    def on_packet(self, packet: Packet):
+        fid = packet.flow.flow_id
+        state = self.states.get(fid)
+        rx = self.flows.get(fid)
+        if state is None or rx is None:
+            self._drop(packet, rx)
+            return
+        if self._dedup(packet, rx):
+            return
+        action = self.steering.match(fid, packet.size, self.sim.now)
+        self._touched.add(fid)
+        if action is SteeringAction.DROP:
+            self._drop(packet, rx)
+            return
+        if action is SteeringAction.FAST_PATH and not self.buffer_manager.fast_path_paused:
+            yield from self._fast_path(packet, state, rx)
+        else:
+            yield from self._slow_path(packet, state, rx)
+
+    def _fast_path(self, packet: Packet, state: CeioFlowState, rx: FlowRx):
+        if not self.credits.consume(packet.flow.flow_id, self.sim.now):
+            # Rule still says fast because the ARM core hasn't polled the
+            # counters yet; the packet over-admits (bounded by poll lag)
+            # and borrows against future releases.
+            self.credits.consume_overdraft(packet.flow.flow_id, self.sim.now)
+            self.overdraft.add(1)
+        self.fast_packets.add(1)
+        state.swring.note_fast_issued()
+        rx.in_use += 1
+        record = RxRecord(packet, next(_keys), path="fast")
+        self._accept(packet)
+
+        swring = state.swring
+        overhead = self.config.fast_path_overhead_ns
+        sim = self.sim
+
+        def deliver(now: float) -> None:
+            # The RMT/credit pipeline stage adds latency but is pipelined,
+            # so it is charged at delivery rather than serialised in the
+            # firmware loop. Equal delay on every packet preserves order.
+            def push() -> None:
+                t = sim.now
+                packet.delivered_time = t
+                record.deliver_time = t
+                swring.push_fast(record)
+                rx.delivered.add(1)
+                self._notify_ready(packet.flow.flow_id)
+
+            sim.schedule(overhead, push)
+
+        write = DmaWrite(record.key, packet.size, ddio=True, deliver=deliver)
+        yield from self.host.nic.dma.write_to_host(write)
+
+    def _slow_path(self, packet: Packet, state: CeioFlowState, rx: FlowRx):
+        record = RxRecord(packet, next(_keys), path="slow")
+        ok = yield from self.buffer_manager.buffer_packet(packet, record)
+        if not ok:
+            self._drop(packet, rx)
+            return
+        self.slow_packets.add(1)
+        rx.in_use += 1
+        rx.delivered.add(1)
+        if self.config.phase_exclusivity:
+            state.swring.push_slow(record)
+        else:
+            state.swring.push_slow_unordered(record)
+        # RED-style CCA trigger: mark proportionally to slow-path backlog
+        # so DCTCP holds the standing queue near the guard level. Past the
+        # top of the band, marking alone cannot throttle below the senders'
+        # minimum windows, so the ACK itself is withheld until the packet
+        # drains — hard receiver backpressure that self-clocks the senders
+        # to the slow path's service rate.
+        p = self.buffer_manager.mark_probability(packet.flow.flow_id)
+        if p >= 1.0:
+            record.defer_ack = True
+            self.rx_accepted.add(1)  # accepted, ACK deferred to the drain
+        else:
+            mark = state.cca_marking or (p > 0
+                                         and self._mark_rng.random() < p)
+            self._accept(packet, extra_mark=mark)
+        self._notify_ready(packet.flow.flow_id)
+
+    # ------------------------------------------------------------------
+    # Host software API
+    # ------------------------------------------------------------------
+    def rx_burst(self, flow: Flow, max_packets: int) -> List[RxRecord]:
+        """Non-blocking poll (the default data path: ``async_recv``)."""
+        return self.driver.async_recv(flow, max_packets)
+
+    def _flow_still_ready(self, fid: int) -> bool:
+        # Only *poppable* records count: entries awaiting a slow-path fetch
+        # re-notify via the buffer manager when the fetch completes.
+        state = self.states.get(fid)
+        return state is not None and state.swring.ready_count > 0
+
+    def recv_burst(self, flow: Flow, max_packets: int):
+        """Process-context receive honouring the async ablation switch."""
+        if self.config.async_drain:
+            return self.driver.async_recv(flow, max_packets)
+            yield  # pragma: no cover - makes this a generator
+        return (yield from self._sync_recv(flow, max_packets))
+
+    def _sync_recv(self, flow: Flow, max_packets: int):
+        state = self.flow_state(flow.flow_id)
+        records = state.swring.pop_ready(max_packets)
+        if records or not state.swring.has_nonresident:
+            return records
+        # Synchronous ablation: the CPU stalls on the PCIe round trip.
+        self.driver.sync_fetches.add(1)
+        yield from self.driver._drain_once(state)
+        return state.swring.pop_ready(max_packets)
+
+    def release(self, records: List[RxRecord]) -> None:
+        self.driver.release(records)
+
+    # ------------------------------------------------------------------
+    # ARM control loops
+    # ------------------------------------------------------------------
+    #: Steering-counter entries one ARM control tick can examine. The scan
+    #: of the whole flow table therefore takes ``N / SCAN_FLOWS_PER_TICK``
+    #: ticks — the bounded control-plane rate that makes CEIO's active-flow
+    #: strategy lag behind fast flow churn at thousands of flows (§6.3,
+    #: Figure 12).
+    SCAN_FLOWS_PER_TICK = 4
+
+    def _control_tick(self) -> None:
+        # Flows with data-path activity since the last tick are handled at
+        # full rate (their counters sit hot in the ARM cache)...
+        touched, self._touched = self._touched, set()
+        for fid in touched:
+            state = self.states.get(fid)
+            if state is not None:
+                self._inspect_flow(fid, state)
+        # ...but *inactive* flows are only discovered — in either direction
+        # — by the rotating full-table scan, which covers a bounded number
+        # of steering entries per tick.
+        fids = list(self.states)
+        if not fids:
+            return
+        for _ in range(self.SCAN_FLOWS_PER_TICK):
+            self._inactive_scan_pos = (self._inactive_scan_pos + 1) % len(fids)
+            fid = fids[self._inactive_scan_pos]
+            self._scan_flow(fid, self.states[fid])
+
+    def _inspect_flow(self, fid: int, state: CeioFlowState) -> None:
+        """Data-path-driven control: degrade/upgrade/CCA for active flows."""
+        now = self.sim.now
+        cfg = self.config
+        rule = self.steering.get(fid)
+        if rule is None or state.inactive:
+            return  # reactivation is the scan's job (bounded-rate)
+        if rule.action is SteeringAction.FAST_PATH:
+            if self.credits.credits_exhausted(fid):
+                self._degrade(fid, state)
+        else:
+            state.cca_marking = self.buffer_manager.overloaded(fid)
+            drained_clean = (not state.swring.has_nonresident
+                             and self.buffer_manager.slow_bytes(fid) == 0)
+            if drained_clean:
+                # No longer behaving like a bypass flow: stop donating.
+                self.credits.set_donating(fid, False)
+            elif (cfg.credit_reallocation
+                    and state.degraded_since is not None
+                    and now - state.degraded_since
+                    > cfg.donation_threshold):
+                self.credits.set_donating(fid, True)
+            self._maybe_upgrade(fid, state)
+
+    def _scan_flow(self, fid: int, state: CeioFlowState) -> None:
+        """Full-table scan entry: inactivity reclamation and reactivation."""
+        now = self.sim.now
+        cfg = self.config
+        rule = self.steering.get(fid)
+        if rule is None:
+            return
+        idle = now - rule.last_hit_time
+        if state.inactive:
+            if idle < cfg.inactive_timeout:
+                # Traffic resumed since the scan last looked: give the flow
+                # an active-set share back and let it upgrade.
+                state.inactive = False
+                self.credits.grant_share(fid, now,
+                                         target=self._active_share())
+                self._maybe_upgrade(fid, state)
+        elif idle > cfg.inactive_timeout:
+            state.inactive = True
+            self.credits.reclaim(fid)
+            # An inactive flow holds no credits: traffic that resumes
+            # before the scan reactivates it belongs on the slow path.
+            if (rule.action is SteeringAction.FAST_PATH
+                    and self.credits.credits_exhausted(fid)):
+                self._degrade(fid, state)
+
+    def _active_share(self) -> float:
+        """Fair share over currently *active* flows (§4.1 Q3: credits of
+        inactive flows are recycled for the flows actually sending)."""
+        active = sum(1 for st in self.states.values() if not st.inactive)
+        return self.credits.total / max(1, active)
+
+    def _degrade(self, fid: int, state: CeioFlowState) -> None:
+        self.steering.set_action(fid, SteeringAction.SLOW_PATH)
+        state.degraded_since = self.sim.now
+        state.swring.set_barrier()
+        self.degrades.add(1)
+
+    def pin_slow(self, flow: Flow) -> None:
+        """Force a flow onto the slow path ("setting its credit to zero",
+        §6.3) — used by the fast-vs-slow-path micro-benchmarks."""
+        state = self.states[flow.flow_id]
+        state.pinned_slow = True
+        self.credits.reclaim(flow.flow_id)
+        self._degrade(flow.flow_id, state)
+
+    def unpin(self, flow: Flow) -> None:
+        state = self.states[flow.flow_id]
+        state.pinned_slow = False
+        self.credits.grant_share(flow.flow_id, self.sim.now)
+        self._maybe_upgrade(flow.flow_id, state)
+
+    #: A flow may upgrade while this much slow-path data remains: the
+    #: residue keeps draining and ordering is preserved (new fast entries
+    #: enqueue behind the pending slow entries), but waiting for a *fully*
+    #: empty slow ring would postpone the upgrade forever under continuous
+    #: arrivals — the drain would chase a moving target.
+    UPGRADE_RESIDUE_BYTES = 8 * 1024
+
+    def _maybe_upgrade(self, fid: int, state: CeioFlowState) -> None:
+        if state.pinned_slow:
+            return
+        if state.inactive:
+            # Inactive flows come back only through the bounded-rate scan
+            # (or the round-robin timer) — that is the §4.1 Q3 mechanism
+            # whose lag Figure 12 measures.
+            return
+        if self.buffer_manager.slow_bytes(fid) > self.UPGRADE_RESIDUE_BYTES:
+            return
+        if self.credits.credits_exhausted(fid):
+            # A fully drained flow may pull idle credits from the reserve
+            # (e.g. its own earlier donations) to become credit-worthy.
+            acct = self.credits.account(fid)
+            deficit = 1.0 - acct.available
+            self.credits.grant_from_reserve(
+                fid, min(max(deficit, 0.0) + 4.0, self._active_share()))
+            if self.credits.credits_exhausted(fid):
+                return
+        self.steering.set_action(fid, SteeringAction.FAST_PATH)
+        state.degraded_since = None
+        state.cca_marking = False
+        state.swring.clear_barrier()
+        self.credits.set_donating(fid, False)
+        self.upgrades.add(1)
+
+    def on_drain_complete(self, state: CeioFlowState) -> None:
+        """Called by the driver when a drain leaves the slow ring empty."""
+        self._maybe_upgrade(state.flow.flow_id, state)
+
+    def _reactivate_tick(self) -> None:
+        """Round-robin backup (§4.1 Q3): give one inactive flow its share
+        back per tick so every flow periodically gets fast-path access."""
+        if not self._reactivation_cycle:
+            self._reactivation_cycle = [fid for fid, st in self.states.items()
+                                        if st.inactive]
+        while self._reactivation_cycle:
+            fid = self._reactivation_cycle.pop()
+            state = self.states.get(fid)
+            if state is None or not state.inactive:
+                continue
+            state.inactive = False
+            self.credits.grant_share(fid, self.sim.now,
+                                     target=self._active_share())
+            self._maybe_upgrade(fid, state)
+            break
+
+    # ------------------------------------------------------------------
+    # Introspection for experiments
+    # ------------------------------------------------------------------
+    def fast_fraction(self) -> float:
+        total = self.fast_packets.value + self.slow_packets.value
+        return self.fast_packets.value / total if total else 0.0
+
+
+# Register with the architecture registry (done here rather than in
+# repro.io_arch to avoid a circular import).
+from ..io_arch import ARCHITECTURES as _ARCHITECTURES  # noqa: E402
+
+_ARCHITECTURES["ceio"] = CeioArchitecture

@@ -1,0 +1,83 @@
+"""RMT-style flow-steering table (§4.1, Figure 6).
+
+The NIC's reconfigurable match-action engine holds one rule per flow whose
+action directs received packets to the fast path (DMA to host via DDIO) or
+the slow path (DMA to on-NIC memory). Rules carry hit counters that the
+flow controller polls from the ARM cores — the control loop the paper
+builds on ("continuously polls counters in the steering flow table to
+track credit consumption").
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional
+
+__all__ = ["SteeringAction", "SteeringRule", "SteeringTable"]
+
+
+class SteeringAction(enum.Enum):
+    FAST_PATH = "fast"
+    SLOW_PATH = "slow"
+    DROP = "drop"
+
+
+class SteeringRule:
+    """A match-action entry: match on flow id, action + hit counters."""
+
+    __slots__ = ("flow_id", "action", "hit_count", "hit_bytes",
+                 "last_hit_time")
+
+    def __init__(self, flow_id: int,
+                 action: SteeringAction = SteeringAction.FAST_PATH):
+        self.flow_id = flow_id
+        self.action = action
+        self.hit_count = 0
+        self.hit_bytes = 0
+        self.last_hit_time = 0.0
+
+    def record_hit(self, nbytes: int, now: float) -> None:
+        self.hit_count += 1
+        self.hit_bytes += nbytes
+        self.last_hit_time = now
+
+
+class SteeringTable:
+    """The flow table: install/update/remove rules, match packets."""
+
+    def __init__(self, default_action: SteeringAction = SteeringAction.DROP):
+        self._rules: Dict[int, SteeringRule] = {}
+        self.default_action = default_action
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def install(self, flow_id: int,
+                action: SteeringAction = SteeringAction.FAST_PATH
+                ) -> SteeringRule:
+        rule = SteeringRule(flow_id, action)
+        self._rules[flow_id] = rule
+        return rule
+
+    def remove(self, flow_id: int) -> None:
+        self._rules.pop(flow_id, None)
+
+    def get(self, flow_id: int) -> Optional[SteeringRule]:
+        return self._rules.get(flow_id)
+
+    def set_action(self, flow_id: int, action: SteeringAction) -> None:
+        rule = self._rules.get(flow_id)
+        if rule is None:
+            raise KeyError(f"no steering rule for flow {flow_id}")
+        rule.action = action
+
+    def match(self, flow_id: int, nbytes: int, now: float) -> SteeringAction:
+        """Look up the action for a packet, updating hit counters."""
+        rule = self._rules.get(flow_id)
+        if rule is None:
+            return self.default_action
+        rule.record_hit(nbytes, now)
+        return rule.action
+
+    def rules(self):
+        return self._rules.values()

@@ -1,0 +1,134 @@
+"""The CEIO software ring (§4.2, Figure 7).
+
+A two-producer / one-consumer ring that unifies the fast-path HW ring and
+the slow-path HW ring into one application-facing, **order-preserving**
+sequence. Ordering across path transitions relies on *phase exclusivity*:
+when a flow degrades to the slow path, a barrier is set at the number of
+fast-path packets already issued to the DMA engine; slow-path entries are
+held back until every one of those fast-path packets has been delivered,
+so the consumer never observes a slow packet ahead of an earlier fast one.
+
+Entries carry a per-entry location flag (``resident``) exactly as the
+paper describes — the driver polls it to decide which entries still need a
+DMA read from on-NIC memory.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+__all__ = ["SwEntry", "SwRing"]
+
+
+class SwEntry:
+    """One SW-ring slot: a record plus its location/fetch flags."""
+
+    __slots__ = ("record", "resident", "fetching")
+
+    def __init__(self, record, resident: bool):
+        self.record = record
+        #: True once the payload is in host memory (fast path: immediately;
+        #: slow path: after the DMA read completes).
+        self.resident = resident
+        #: True while a slow-path DMA read for this entry is in flight.
+        self.fetching = False
+
+
+class SwRing:
+    """Order-preserving merge of fast-path and slow-path deliveries."""
+
+    def __init__(self, flow_id: int):
+        self.flow_id = flow_id
+        self._entries: Deque[SwEntry] = deque()
+        self._pending_slow: Deque[SwEntry] = deque()
+        #: Barrier: slow entries may enter only once this many fast-path
+        #: packets have been delivered. None = no transition in progress.
+        self._barrier: Optional[int] = None
+        self.fast_issued = 0
+        self.fast_delivered = 0
+        self.out_of_order = 0
+        self._last_seq_popped = -1
+
+    # ------------------------------------------------------------------
+    # Producers
+    # ------------------------------------------------------------------
+    def note_fast_issued(self) -> None:
+        """A fast-path DMA write was issued for this flow."""
+        self.fast_issued += 1
+
+    def push_fast(self, record) -> None:
+        """Fast-path delivery (DMA write completed into host memory)."""
+        self._entries.append(SwEntry(record, resident=True))
+        self.fast_delivered += 1
+        self._flush_pending()
+
+    def set_barrier(self) -> None:
+        """Flow degraded: pin the fast/slow boundary at packets issued so far."""
+        self._barrier = self.fast_issued
+
+    def clear_barrier(self) -> None:
+        self._barrier = None
+        self._flush_pending()
+
+    def push_slow(self, record) -> None:
+        """Slow-path arrival (payload buffered in on-NIC memory)."""
+        self._pending_slow.append(SwEntry(record, resident=False))
+        self._flush_pending()
+
+    def push_slow_unordered(self, record) -> None:
+        """Ablation hook: bypass the barrier (phase exclusivity off)."""
+        self._entries.append(SwEntry(record, resident=False))
+
+    def _flush_pending(self) -> None:
+        if self._barrier is not None and self.fast_delivered < self._barrier:
+            return
+        while self._pending_slow:
+            self._entries.append(self._pending_slow.popleft())
+
+    # ------------------------------------------------------------------
+    # Consumer (the CEIO driver)
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries) + len(self._pending_slow)
+
+    @property
+    def ready_count(self) -> int:
+        """Entries at the head that are host-resident."""
+        count = 0
+        for entry in self._entries:
+            if not entry.resident:
+                break
+            count += 1
+        return count
+
+    def pop_ready(self, max_entries: int) -> List:
+        """Pop up to ``max_entries`` host-resident records from the head."""
+        records = []
+        while (self._entries and len(records) < max_entries
+               and self._entries[0].resident):
+            entry = self._entries.popleft()
+            seq = entry.record.packet.seq
+            if seq < self._last_seq_popped and not entry.record.packet.retransmitted:
+                self.out_of_order += 1
+            self._last_seq_popped = max(self._last_seq_popped, seq)
+            records.append(entry.record)
+        return records
+
+    def nonresident_head(self, max_entries: int) -> List[SwEntry]:
+        """The next entries that still need fetching (skipping ones already
+        being fetched), up to ``max_entries``, scanning from the head."""
+        out = []
+        for entry in self._entries:
+            if len(out) >= max_entries:
+                break
+            if entry.resident:
+                continue
+            if not entry.fetching:
+                out.append(entry)
+        return out
+
+    @property
+    def has_nonresident(self) -> bool:
+        return any(not e.resident for e in self._entries) or bool(
+            self._pending_slow)

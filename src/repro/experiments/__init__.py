@@ -1,0 +1,55 @@
+"""Experiment registry: one entry per paper figure/table.
+
+Each runner takes ``quick: bool`` (smaller sweeps for CI-speed runs) and
+returns an :class:`~repro.experiments.report.ExperimentResult` containing
+the figure's rows plus shape checks. Run from the command line::
+
+    python -m repro.experiments fig09
+    python -m repro.experiments all --full
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from . import (
+    ablations,
+    dynamic,
+    fig09,
+    fig11,
+    fig12,
+    lessons,
+    limits,
+    table2,
+    table3,
+    table4,
+)
+from .report import ExperimentResult, ShapeCheck, render_table
+
+__all__ = ["EXPERIMENTS", "run_experiment", "ExperimentResult",
+           "ShapeCheck", "render_table"]
+
+EXPERIMENTS: Dict[str, Callable[[bool], ExperimentResult]] = {
+    "fig04a": lambda quick=True: dynamic.run_fig04(quick, "a"),
+    "fig04b": lambda quick=True: dynamic.run_fig04(quick, "b"),
+    "fig09": fig09.run,
+    "fig10a": lambda quick=True: dynamic.run_fig10(quick, "a"),
+    "fig10b": lambda quick=True: dynamic.run_fig10(quick, "b"),
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "limits": limits.run,
+    "ablations": ablations.run,
+    "lessons": lessons.run,
+}
+
+
+def run_experiment(exp_id: str, quick: bool = True) -> ExperimentResult:
+    try:
+        runner = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise ValueError(f"unknown experiment {exp_id!r}; "
+                         f"choose from {sorted(EXPERIMENTS)}") from None
+    return runner(quick)

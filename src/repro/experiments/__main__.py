@@ -1,0 +1,41 @@
+"""CLI: run reproduction experiments and print the paper-style output.
+
+Usage::
+
+    python -m repro.experiments fig09 table2
+    python -m repro.experiments all --full
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import EXPERIMENTS, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce CEIO's figures and tables.")
+    parser.add_argument("experiments", nargs="+",
+                        help=f"experiment ids or 'all': {sorted(EXPERIMENTS)}")
+    parser.add_argument("--full", action="store_true",
+                        help="full sweeps (slower) instead of quick mode")
+    args = parser.parse_args(argv)
+
+    ids = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    failed = 0
+    for exp_id in ids:
+        start = time.time()
+        result = run_experiment(exp_id, quick=not args.full)
+        print(result.render())
+        print(f"(elapsed {time.time() - start:.1f}s)\n")
+        if not result.all_passed:
+            failed += 1
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,138 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not a paper figure — these benches justify individual CEIO mechanisms:
+
+- **lazy vs eager credit release** (§4.1): eager release replenishes
+  bypass flows as fast as involved ones, eroding the fast-path priority
+  of CPU-involved traffic in mixed workloads;
+- **phase exclusivity** (§4.2): without it the SW ring observes reordered
+  packets;
+- **cache model fidelity**: the fast fully-associative LLC model and the
+  detailed set-associative model agree on the headline numbers.
+"""
+
+from __future__ import annotations
+
+from ..core import CeioConfig
+from ..sim.units import US
+from ..workloads import Scenario, ScenarioConfig
+from .report import ExperimentResult
+
+__all__ = ["run"]
+
+
+def _mixed(quick: bool, ceio: CeioConfig, seed: int = 29):
+    config = ScenarioConfig(
+        arch="ceio", n_involved=4, n_bypass=4, payload=144,
+        bypass_payload=1024, chunk_packets=32,
+        warmup=(400 * US if quick else 800 * US),
+        duration=(500 * US if quick else 1000 * US),
+        seed=seed, ceio=ceio)
+    scenario = Scenario(config).build()
+    measurement = scenario.run_measure()
+    return scenario, measurement
+
+
+def _static(quick: bool, set_associative: bool, seed: int = 29):
+    # Full-buffer payloads: with 2 KB-aligned buffers nearly filled, both
+    # cache models see the same occupancy. (At small payloads they
+    # legitimately diverge — the set-associative model captures the
+    # alignment waste of 2 KB-strided mbufs, which the byte-accounted
+    # fully-associative model cannot; see the result note.)
+    config = ScenarioConfig(
+        arch="ceio", n_involved=8, payload=1900,
+        set_associative_cache=set_associative,
+        warmup=(300 * US if quick else 600 * US),
+        duration=(400 * US if quick else 800 * US), seed=seed)
+    return Scenario(config).build().run_measure()
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="ablations",
+        title="Design-choice ablations (lazy release, phase exclusivity, "
+              "cache model)",
+        paper_claim=("lazy release is what keeps CPU-involved flows on the "
+                     "fast path (§4.1); phase exclusivity is what keeps the "
+                     "SW ring ordered (§4.2)"),
+    )
+    result.headers = ["ablation", "variant", "involved_mpps",
+                      "fast_fraction", "out_of_order"]
+
+    # 1. Lazy vs eager credit release in a mixed workload.
+    variants = {}
+    for name, lazy in (("lazy", True), ("eager", False)):
+        scenario, m = _mixed(quick, CeioConfig(lazy_release=lazy))
+        variants[name] = (scenario, m)
+        result.rows.append(["credit-release", name, m.involved_mpps,
+                            m.extras.get("fast_fraction", 0.0), 0])
+    lazy_ff = variants["lazy"][1].extras.get("fast_fraction", 0.0)
+    eager_ff = variants["eager"][1].extras.get("fast_fraction", 0.0)
+    result.check(
+        "lazy release sustains involved throughput at least as well",
+        variants["lazy"][1].involved_mpps
+        >= 0.95 * variants["eager"][1].involved_mpps,
+        f"lazy {variants['lazy'][1].involved_mpps:.1f} vs "
+        f"eager {variants['eager'][1].involved_mpps:.1f} Mpps")
+    result.notes.append(
+        f"fast fraction lazy={lazy_ff:.2f} eager={eager_ff:.2f}")
+
+    # 2. Phase exclusivity and SW-ring ordering.
+    for name, exclusive in (("exclusive", True), ("interleaved", False)):
+        scenario, m = _mixed(quick, CeioConfig(phase_exclusivity=exclusive),
+                             seed=31)
+        ooo = sum(st.swring.out_of_order
+                  for st in scenario.arch.states.values())
+        result.rows.append(["phase-exclusivity", name, m.involved_mpps,
+                            m.extras.get("fast_fraction", 0.0), ooo])
+        if exclusive:
+            result.check("phase exclusivity: zero out-of-order deliveries",
+                         ooo == 0, f"{ooo} reordered")
+        else:
+            result.check("without exclusivity reordering is observed",
+                         ooo > 0, f"{ooo} reordered")
+
+    # 3. MPQ (the §4.1 rejected alternative) vs CEIO's lazy-release design.
+    # Continuous RPC streams are *not short flows*: PIAS-style priority
+    # decay demotes them off the fast path just like bulk transfers.
+    mpq_cfg = ScenarioConfig(
+        arch="mpq", n_involved=4, n_bypass=4, payload=144,
+        bypass_payload=1024, chunk_packets=32,
+        warmup=(400 * US if quick else 800 * US),
+        duration=(500 * US if quick else 1000 * US), seed=29)
+    mpq_scenario = Scenario(mpq_cfg).build()
+    mpq = mpq_scenario.run_measure()
+    ceio_scenario, ceio_m = _mixed(quick, CeioConfig())
+    result.rows.append(["priority-scheme", "mpq", mpq.involved_mpps,
+                        mpq_scenario.arch.high_fraction(), 0])
+    result.rows.append(["priority-scheme", "ceio-lazy",
+                        ceio_m.involved_mpps,
+                        ceio_m.extras.get("fast_fraction", 0.0), 0])
+    result.check(
+        "PIAS-style MPQ demotes continuous RPC flows (demotions observed)",
+        mpq_scenario.arch.demotions.value > 0,
+        f"{mpq_scenario.arch.demotions.value:.0f} demotions")
+    result.check(
+        "CEIO's lazy release beats the rejected MPQ design on RPC "
+        "throughput",
+        ceio_m.involved_mpps >= mpq.involved_mpps,
+        f"ceio {ceio_m.involved_mpps:.1f} vs mpq {mpq.involved_mpps:.1f}")
+
+    # 4. Cache-model fidelity.
+    fast_model = _static(quick, set_associative=False)
+    detailed = _static(quick, set_associative=True)
+    result.rows.append(["cache-model", "fully-assoc",
+                        fast_model.involved_mpps, 0, 0])
+    result.rows.append(["cache-model", "set-assoc",
+                        detailed.involved_mpps, 0, 0])
+    result.check(
+        "cache models agree on CEIO throughput (within 20%, full buffers)",
+        abs(fast_model.involved_mpps - detailed.involved_mpps)
+        <= 0.20 * max(fast_model.involved_mpps, 1e-9),
+        f"{fast_model.involved_mpps:.1f} vs {detailed.involved_mpps:.1f}")
+    result.notes.append(
+        "at small payloads the models diverge by design: the "
+        "set-associative model charges whole 2KB-aligned buffer strides "
+        "(real DDIO alignment waste), the fully-associative model charges "
+        "bytes")
+    return result

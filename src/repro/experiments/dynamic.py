@@ -1,0 +1,135 @@
+"""Figures 4 and 10: dynamic flow distribution and network burst.
+
+Figure 4 (motivation, §2.3) runs HostCC and ShRing only, comparing each
+phase's CPU-involved throughput against the *expected* performance
+(number of CPU-involved flows x the single-core throughput of ShRing with
+sufficient LLC). Figure 10 repeats both scenarios with CEIO included.
+
+Scenario definitions (time scaled from the paper's 10 s phases to
+sub-millisecond phases; the control loops run at µs granularity so the
+transients are fully exercised):
+
+- *dynamic flow distribution*: start with 8 CPU-involved eRPC flows; each
+  phase replaces two of them with CPU-bypass LineFS flows;
+- *network burst*: start with 8 CPU-involved flows; each phase adds two
+  burst CPU-involved flows on two extra cores.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..hw import CacheConfig, HostConfig
+from ..sim.units import MIB, US
+from ..workloads import (
+    Scenario,
+    ScenarioConfig,
+    add_two_burst_flows,
+    replace_two_with_bypass,
+)
+from .report import ExperimentResult
+
+__all__ = ["expected_per_core_mpps", "run_dynamic", "run_fig04", "run_fig10"]
+
+
+def expected_per_core_mpps(payload: int, seed: int = 3) -> float:
+    """The paper's expected-performance reference: single-core ShRing
+    throughput with *sufficient LLC* (we grant an over-sized LLC so no
+    misses can occur)."""
+    big_cache = HostConfig(cache=CacheConfig(size=256 * MIB))
+    config = ScenarioConfig(arch="shring", n_involved=1, payload=payload,
+                            host_config=big_cache, warmup=200 * US,
+                            duration=300 * US, seed=seed)
+    m = Scenario(config).build().run_measure()
+    return m.involved_mpps
+
+
+def run_dynamic(archs: List[str], scenario_kind: str, phases: int,
+                quick: bool, seed: int = 11):
+    """Run one dynamic scenario for several architectures.
+
+    Returns {arch: [per-phase involved Mpps]}, {arch: [per-phase miss]}.
+    """
+    action = (replace_two_with_bypass if scenario_kind == "dynamic"
+              else add_two_burst_flows)
+    phase_warmup = 250 * US if quick else 500 * US
+    phase_duration = (300 * US) if quick else (600 * US)
+    mpps: Dict[str, List[float]] = {}
+    miss: Dict[str, List[float]] = {}
+    for arch in archs:
+        scenario = Scenario(ScenarioConfig(arch=arch, n_involved=8,
+                                           seed=seed)).build()
+        results = scenario.run_phases([action] * phases,
+                                      phase_warmup, phase_duration)
+        mpps[arch] = [m.involved_mpps for m in results]
+        miss[arch] = [m.llc_miss_rate for m in results]
+    return mpps, miss
+
+
+def _involved_counts(scenario_kind: str, phases: int) -> List[int]:
+    if scenario_kind == "dynamic":
+        return [8 - 2 * i for i in range(phases + 1)]
+    return [8 + 2 * i for i in range(phases + 1)]
+
+
+def _run(exp_id: str, archs: List[str], quick: bool) -> ExperimentResult:
+    titles = {
+        "fig04a": "Motivation: degradation under dynamic flow distribution",
+        "fig04b": "Motivation: degradation under network burst",
+        "fig10a": "End-to-end: dynamic flow distribution",
+        "fig10b": "End-to-end: network burst",
+    }
+    claims = {
+        "fig04a": ("HostCC/ShRing fall up to 1.9x/1.6x below expected "
+                   "performance when the flow mix changes"),
+        "fig04b": "degradation is even larger under bursts",
+        "fig10a": "CEIO achieves up to 2.0x speedup over HostCC/ShRing",
+        "fig10b": "CEIO achieves up to 2.9x speedup under bursts",
+    }
+    result = ExperimentResult(exp_id=exp_id, title=titles[exp_id],
+                              paper_claim=claims[exp_id])
+    scenario_kind = "dynamic" if exp_id.endswith("a") else "burst"
+    phases = 2 if quick else 3
+    per_core = expected_per_core_mpps(144)
+    counts = _involved_counts(scenario_kind, phases)
+    mpps, miss = run_dynamic(archs, scenario_kind, phases, quick)
+
+    result.headers = (["phase", "n_involved", "expected_mpps"]
+                      + [f"{a}_mpps" for a in archs]
+                      + [f"{a}_miss%" for a in archs])
+    for phase in range(phases + 1):
+        expected = counts[phase] * per_core
+        result.rows.append(
+            [phase, counts[phase], expected]
+            + [mpps[a][phase] for a in archs]
+            + [miss[a][phase] * 100 for a in archs])
+
+    last = phases  # the most perturbed phase
+    expected_last = counts[last] * per_core
+    for arch in archs:
+        if arch == "ceio":
+            continue
+        result.check(
+            f"{arch} falls below expected in perturbed phases",
+            mpps[arch][last] < expected_last,
+            f"{mpps[arch][last]:.1f} vs expected {expected_last:.1f} Mpps")
+    if "ceio" in archs:
+        rivals = [a for a in archs if a not in ("ceio",)]
+        best_rival = max(mpps[a][last] for a in rivals)
+        result.check_ratio(
+            "ceio beats the best prior work in the most perturbed phase",
+            mpps["ceio"][last], best_rival, 1.0)
+        result.check(
+            "ceio stays within 35% of expected",
+            mpps["ceio"][last] > 0.65 * expected_last,
+            f"{mpps['ceio'][last]:.1f} vs expected {expected_last:.1f}")
+    return result
+
+
+def run_fig04(quick: bool = True, variant: str = "a") -> ExperimentResult:
+    return _run(f"fig04{variant}", ["hostcc", "shring"], quick)
+
+
+def run_fig10(quick: bool = True, variant: str = "a") -> ExperimentResult:
+    return _run(f"fig10{variant}", ["baseline", "hostcc", "shring", "ceio"],
+                quick)

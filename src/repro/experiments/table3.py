@@ -1,0 +1,47 @@
+"""Table 3: latency of CEIO's fast and slow paths vs raw RDMA write.
+
+``ib_write_lat``-style ping-pong at 64 B / 1024 B / 4096 B. Paper: CEIO
+adds a modest 1.10-1.48x latency overhead (absolute overhead < 10 µs,
+negligible vs transport-protocol time constants); the slow path is always
+the slowest, with the penalty growing for large packets.
+"""
+
+from __future__ import annotations
+
+from ..apps import ib_write_lat
+from .report import ExperimentResult
+
+__all__ = ["run"]
+
+SIZES = [64, 1024, 4096]
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="table3",
+        title="Latency (µs) of CEIO fast/slow paths vs raw RDMA write",
+        paper_claim=("modest overhead (paper: 1.10-1.48x, <10µs absolute); "
+                     "slow path > fast path > raw"),
+    )
+    result.headers = ["msg_B", "raw_us", "fast_us", "fast_x",
+                      "slow_us", "slow_x"]
+    iters = 60 if quick else 200
+    for size in SIZES:
+        raw = ib_write_lat("baseline", size, iters=iters).avg_us
+        fast = ib_write_lat("ceio", size, iters=iters).avg_us
+        slow = ib_write_lat("ceio", size, iters=iters,
+                            force_slow=True).avg_us
+        result.rows.append([size, raw, fast, fast / raw, slow, slow / raw])
+        result.check_order(
+            f"{size}B: slow >= fast >= raw",
+            {"slow": slow, "fast": fast, "raw": raw},
+            ["slow", "fast", "raw"])
+        result.check(
+            f"{size}B: absolute overhead stays below 10µs",
+            slow - raw < 10.0,
+            f"slow-raw = {slow - raw:.2f}µs")
+        result.check(
+            f"{size}B: fast-path overhead modest (<1.6x)",
+            fast / raw < 1.6,
+            f"{fast / raw:.2f}x")
+    return result

@@ -1,0 +1,16 @@
+"""Application-facing I/O frameworks: a DPDK shim and a verbs/RDMA shim."""
+
+from .dpdk import RX_BURST_MAX, EthDev, Mempool
+from .rdma import (
+    CompletionQueue,
+    QpType,
+    QueuePair,
+    RdmaEndpoint,
+    WorkCompletion,
+)
+
+__all__ = [
+    "RX_BURST_MAX", "EthDev", "Mempool",
+    "CompletionQueue", "QpType", "QueuePair", "RdmaEndpoint",
+    "WorkCompletion",
+]

@@ -1,0 +1,28 @@
+"""Hardware substrate models: LLC/DDIO, DRAM, PCIe, IIO, CPU, SmartNIC."""
+
+from .cache import CacheStats, FullyAssociativeLLC, SetAssociativeLLC, build_llc
+from .config import (
+    CacheConfig,
+    CpuConfig,
+    DramConfig,
+    HostConfig,
+    NicConfig,
+    PcieConfig,
+    paper_testbed,
+)
+from .cpu import Core, CpuComplex
+from .dram import Dram
+from .host import Host
+from .iio import IioBuffer, IioEntry
+from .memctrl import DmaWrite, MemoryController
+from .nic import ArmCores, DmaEngine, Nic, OnNicMemory
+from .pcie import PcieLink
+
+__all__ = [
+    "CacheConfig", "CpuConfig", "DramConfig", "HostConfig", "NicConfig",
+    "PcieConfig", "paper_testbed",
+    "CacheStats", "FullyAssociativeLLC", "SetAssociativeLLC", "build_llc",
+    "Core", "CpuComplex", "Dram", "Host", "IioBuffer", "IioEntry",
+    "DmaWrite", "MemoryController", "ArmCores", "DmaEngine", "Nic",
+    "OnNicMemory", "PcieLink",
+]

@@ -1,0 +1,159 @@
+"""Hardware configuration matching the paper's testbed (§2.3, §6.1).
+
+Two servers, each: 2× Intel Xeon Silver 4309Y (8 cores/CPU in the SKU used
+per socket here, 2.8 GHz base / 3.6 GHz turbo), NVIDIA BlueField-3 on PCIe
+5.0×16, 512 GB DDR4-3200 over 8 channels, 200 Gbps link. The LLC is 12 MB
+per socket; DDIO is configured to use 6 of 12 ways (§4.1: "the available LLC
+size is configured to 6MB (using 6 out of 12 cache ways for DDIO)").
+
+All values are plain dataclass fields so experiments can override any of
+them; defaults reproduce the paper's setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.units import CACHE_LINE, GIB, KIB, MIB, gbps
+
+__all__ = ["CacheConfig", "DramConfig", "PcieConfig", "NicConfig",
+           "CpuConfig", "HostConfig"]
+
+
+@dataclass
+class CacheConfig:
+    """LLC geometry and timing."""
+
+    #: Total LLC size in bytes (Xeon Silver 4309Y: 12 MB).
+    size: int = 12 * MIB
+    #: Associativity of the LLC.
+    ways: int = 12
+    #: Ways reserved for DDIO (I/O writes allocate only here).
+    ddio_ways: int = 6
+    #: Cache line size in bytes.
+    line: int = CACHE_LINE
+    #: CPU load-to-use latency for an LLC hit, ns.
+    hit_latency: float = 20.0
+    #: Extra latency for a miss serviced by DRAM (on top of DRAM queueing), ns.
+    miss_penalty: float = 100.0
+    #: Use the detailed set-associative model instead of the fast
+    #: fully-associative LRU approximation.
+    set_associative: bool = False
+
+    @property
+    def ddio_capacity(self) -> int:
+        """Bytes of LLC the I/O path may occupy."""
+        return self.size * self.ddio_ways // self.ways
+
+    @property
+    def sets(self) -> int:
+        return self.size // (self.line * self.ways)
+
+
+@dataclass
+class DramConfig:
+    """DDR4-3200, 8 channels: ~25.6 GB/s per channel theoretical."""
+
+    channels: int = 8
+    #: Sustained per-channel bandwidth, bytes/ns (~0.8 of theoretical).
+    channel_bandwidth: float = 20.0
+    #: Idle access latency (row hit mix), ns.
+    base_latency: float = 90.0
+    #: Fraction of peak bandwidth achievable by the random, line-granule
+    #: access pattern of I/O miss traffic and write-backs (row-buffer
+    #: misses dominate). Effective capacity for utilisation/queueing
+    #: purposes is ``peak * random_efficiency``.
+    random_efficiency: float = 0.25
+    total_size: int = 512 * GIB
+
+
+@dataclass
+class PcieConfig:
+    """PCIe 5.0 ×16 host interface."""
+
+    #: Usable payload bandwidth after encoding, bytes/ns (~63 GB/s raw;
+    #: ~55 GB/s after DLLP/framing).
+    bandwidth: float = 55.0
+    #: One-way posted-write latency NIC -> host, ns.
+    write_latency: float = 300.0
+    #: Round-trip latency of a DMA read issued by the host to NIC memory, ns
+    #: (§3: "can reach up to 1000ns").
+    read_latency: float = 900.0
+    #: Max TLP payload per transaction, bytes.
+    max_payload: int = 256
+    #: TLP + DLLP framing overhead per transaction, bytes.
+    tlp_overhead: int = 24
+    #: Posted-write flow-control credits, in bytes of payload in flight.
+    #: Sized to the IIO buffer so a backed-up IIO visibly exhausts credits.
+    posted_credits: int = 256 * KIB
+
+    def wire_bytes(self, payload: int) -> int:
+        """Bytes on the PCIe wire for ``payload`` bytes of data."""
+        if payload <= 0:
+            return 0
+        tlps = (payload + self.max_payload - 1) // self.max_payload
+        return payload + tlps * self.tlp_overhead
+
+
+@dataclass
+class NicConfig:
+    """BlueField-3-like SmartNIC."""
+
+    #: On-NIC DRAM available for elastic buffering, bytes (16 GB on BF-3).
+    memory_size: int = 16 * GIB
+    #: On-NIC memory access bandwidth, bytes/ns, shared by buffering writes
+    #: and drain reads (the BF-3 on-board DDR5 sustains ~50-80 GB/s; a
+    #: sustained slow path costs 2x its rate in memory bandwidth).
+    memory_bandwidth: float = 50.0
+    #: Extra latency for host access to on-NIC memory through the internal
+    #: switch, ns (§6.4).
+    memory_latency: float = 150.0
+    #: Number of ARM control cores available to run NIC-side logic.
+    arm_cores: int = 8
+    #: Control-loop polling period of an ARM core, ns (steering-counter poll).
+    arm_poll_interval: float = 1_000.0
+    #: Per-packet firmware processing overhead, ns (descriptor fetch, etc.).
+    firmware_overhead: float = 5.0
+    #: Rx descriptor ring size per queue (eRPC's default RX ring size; with
+    #: 8 flows this is 8 x 4096 buffers — beyond the 6 MB DDIO partition,
+    #: which is precisely why the unmanaged baseline thrashes).
+    rx_ring_entries: int = 4096
+    #: IIO (integrated I/O) buffer capacity on the host uncore, bytes.
+    iio_capacity: int = 256 * KIB
+
+
+@dataclass
+class CpuConfig:
+    cores: int = 16
+    #: Sustained frequency under all-core load, GHz.
+    freq_ghz: float = 3.2
+    #: L1/L2 hit cost folded into app cycle counts; only LLC/DRAM modeled.
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1.0 / self.freq_ghz
+
+
+@dataclass
+class HostConfig:
+    """Complete receiver-host configuration."""
+
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    dram: DramConfig = field(default_factory=DramConfig)
+    pcie: PcieConfig = field(default_factory=PcieConfig)
+    nic: NicConfig = field(default_factory=NicConfig)
+    cpu: CpuConfig = field(default_factory=CpuConfig)
+    #: I/O buffer (mbuf) size, bytes — 2 KB for a 1500 B MTU (§4.1).
+    io_buf_size: int = 2 * KIB
+    #: Network link rate feeding the NIC, bytes/ns (200 Gbps).
+    link_rate: float = gbps(200)
+
+    @property
+    def total_credits(self) -> int:
+        """Eq. (1): C_total = Size_LLC(DDIO) / Size_buf (3000 in the paper)."""
+        return self.cache.ddio_capacity // self.io_buf_size
+
+
+def paper_testbed() -> HostConfig:
+    """The exact configuration used in the paper's evaluation."""
+    return HostConfig()

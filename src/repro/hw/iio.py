@@ -1,0 +1,73 @@
+"""The Integrated I/O (IIO) buffer on the host uncore.
+
+PCIe posted writes land here (stage 2 of the data path, Figure 2) and the
+memory controller drains entries into the LLC or DRAM (stage 3). Its
+occupancy is bounded; when full the PCIe DMA engine stalls, which is exactly
+the back-pressure HostCC's congestion signal observes (§2.3).
+"""
+
+from __future__ import annotations
+
+from ..sim import Simulator, Store
+from ..sim.stats import TimeWeightedGauge
+__all__ = ["IioBuffer", "IioEntry"]
+
+
+class IioEntry:
+    """One posted write resident in the IIO buffer."""
+
+    __slots__ = ("payload", "nbytes", "enqueue_time")
+
+    def __init__(self, payload, nbytes: int, enqueue_time: float):
+        self.payload = payload
+        self.nbytes = nbytes
+        self.enqueue_time = enqueue_time
+
+
+class IioBuffer:
+    """Bounded byte-accounted FIFO between PCIe and the memory controller."""
+
+    def __init__(self, sim: Simulator, capacity: int):
+        self.sim = sim
+        self.capacity = capacity
+        self._entries = Store(sim, name="iio")
+        self._bytes = 0
+        self.occupancy_gauge = TimeWeightedGauge("iio.occupancy")
+        self._space_waiters = []
+
+    @property
+    def occupancy(self) -> int:
+        """Bytes currently buffered (HostCC's congestion signal)."""
+        return self._bytes
+
+    @property
+    def fill_fraction(self) -> float:
+        return self._bytes / self.capacity
+
+    def put(self, payload, nbytes: int):
+        """Process: enqueue, blocking while the buffer lacks space."""
+        while self._bytes + nbytes > self.capacity:
+            waiter = self.sim.event()
+            self._space_waiters.append(waiter)
+            yield waiter
+        self._bytes += nbytes
+        self.occupancy_gauge.update(self.sim.now, self._bytes)
+        yield self._entries.put(IioEntry(payload, nbytes, self.sim.now))
+
+    def get(self):
+        """Process: dequeue the oldest entry (memory controller side).
+
+        The entry still occupies IIO space until :meth:`complete` is called
+        — the data physically leaves the buffer only once the memory
+        controller has written it onward.
+        """
+        entry = yield self._entries.get()
+        return entry
+
+    def complete(self, entry: IioEntry) -> None:
+        """Release the space held by ``entry`` (write to LLC/DRAM done)."""
+        self._bytes -= entry.nbytes
+        self.occupancy_gauge.update(self.sim.now, self._bytes)
+        waiters, self._space_waiters = self._space_waiters, []
+        for w in waiters:
+            w.succeed()

@@ -1,0 +1,91 @@
+"""PCIe interconnect between the NIC and the host uncore.
+
+Models the three properties the paper's data path depends on:
+
+- **serialisation** — payload plus TLP framing crosses the wire at link
+  bandwidth (shared by writes and read completions);
+- **posted-write flow control** — writes consume credits returned only when
+  the memory controller drains the IIO buffer, so a slow host back-pressures
+  the NIC's DMA engine (the §2.2 CPU-bypass degradation mechanism);
+- **read round-trips** — host-issued DMA reads of on-NIC memory pay the full
+  round-trip latency (~1 µs, §3), the cost CEIO's slow path must amortise.
+"""
+
+from __future__ import annotations
+
+from ..sim import Container, Simulator, TokenBucket
+from ..sim.stats import Counter, RateMeter
+from .config import PcieConfig
+
+__all__ = ["PcieLink"]
+
+
+class PcieLink:
+    def __init__(self, sim: Simulator, config: PcieConfig):
+        self.sim = sim
+        self.config = config
+        # Wire serialisation shared by all transactions.
+        self._wire = TokenBucket(sim, rate=config.bandwidth,
+                                 burst=max(128 * 1024, config.max_payload * 8),
+                                 name="pcie.wire")
+        # Posted-write credits in payload bytes.
+        self._credits = Container(sim, capacity=config.posted_credits,
+                                  init=config.posted_credits,
+                                  name="pcie.credits")
+        self.bytes_written = Counter("pcie.bytes_written")
+        self.bytes_read = Counter("pcie.bytes_read")
+        self.bandwidth_meter = RateMeter("pcie.bw", window=10_000.0)
+
+    @property
+    def credits_available(self) -> float:
+        return self._credits.level
+
+    def utilization(self, now: float) -> float:
+        """Recent wire utilisation (HostCC samples this)."""
+        return min(1.0, self.bandwidth_meter.rate(now) / self.config.bandwidth)
+
+    def acquire_write_credits(self, payload: int):
+        """Process: wait for posted-write credits for ``payload`` bytes."""
+        yield self._credits.get(min(payload, self.config.posted_credits))
+
+    def release_write_credits(self, payload: int) -> None:
+        """Credits return when the IIO entry drains (memctrl calls this)."""
+        self._credits.try_put(min(payload, self.config.posted_credits))
+
+    def write_issue(self, payload: int):
+        """Process: serialise a posted write onto the wire.
+
+        Returns once the TLPs have been *issued*; the in-flight latency
+        (:attr:`PcieConfig.write_latency`) is pipelined and paid by the
+        caller via :meth:`write_latency_event`. Credit acquisition is not
+        included — the DMA engine acquires credits before committing so a
+        stalled host stalls the NIC visibly.
+        """
+        wire = self.config.wire_bytes(payload)
+        yield self._wire.take(wire)
+        self.bytes_written.add(payload)
+        self.bandwidth_meter.record(self.sim.now, wire)
+
+    def write_latency_event(self):
+        """Timeout covering the one-way in-flight latency of a posted write."""
+        return self.sim.timeout(self.config.write_latency)
+
+    def read(self, payload: int):
+        """Process: a host-issued DMA read returning ``payload`` bytes.
+
+        The request TLP is negligible; the completion stream pays wire
+        serialisation plus the round-trip latency.
+        """
+        wire = self.config.wire_bytes(payload)
+        yield self._wire.take(wire)
+        yield self.sim.timeout(self.config.read_latency)
+        self.account_read(payload)
+
+    def wire_take(self, payload: int):
+        """Wire-serialisation event for an overlapped streaming transfer."""
+        return self._wire.take(self.config.wire_bytes(payload))
+
+    def account_read(self, payload: int) -> None:
+        self.bytes_read.add(payload)
+        self.bandwidth_meter.record(self.sim.now,
+                                    self.config.wire_bytes(payload))

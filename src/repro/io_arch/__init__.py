@@ -1,0 +1,39 @@
+"""Receive-side I/O architectures: baseline, HostCC, ShRing, and CEIO."""
+
+from .base import FlowRx, IOArchitecture, RxRecord
+from .hostcc import HostccArch, HostccConfig
+from .legacy import LegacyDdioArch
+from .mpq import MpqArch, MpqConfig
+from .shring import ShringArch, ShringConfig
+
+__all__ = [
+    "FlowRx", "IOArchitecture", "RxRecord",
+    "LegacyDdioArch",
+    "HostccArch", "HostccConfig",
+    "MpqArch", "MpqConfig",
+    "ShringArch", "ShringConfig",
+    "ARCHITECTURES", "build_arch",
+]
+
+#: Registry used by experiments to select architectures by name. CEIO
+#: registers itself on import of :mod:`repro.core.runtime` (which depends
+#: on this package, so it cannot be imported from here).
+ARCHITECTURES = {
+    "baseline": LegacyDdioArch,
+    "hostcc": HostccArch,
+    "shring": ShringArch,
+    "mpq": MpqArch,
+}
+
+
+def build_arch(name: str, host, **kwargs):
+    """Instantiate an architecture by registry name."""
+    if "ceio" not in ARCHITECTURES:
+        from ..core import runtime as _ceio_runtime  # noqa: F401 (registers)
+    try:
+        cls = ARCHITECTURES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown I/O architecture {name!r}; "
+            f"choose from {sorted(ARCHITECTURES)}") from None
+    return cls(host, **kwargs)

@@ -1,0 +1,106 @@
+"""Two-server testbed wiring: senders -> switch -> receiver NIC, plus ACKs.
+
+The paper's testbed is two directly-attached 200 Gbps servers through a
+ToR. The forward path (client data toward the server under test) is the
+contended one; the reverse path carries only ACKs and small responses and
+is modelled as a fixed delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..hw import Host, HostConfig
+from ..sim import RngRegistry, Simulator
+from ..sim.units import US, gbps
+from .dctcp import DctcpConfig, DctcpSender
+from .link import SwitchPort
+from .packet import Flow, Packet
+
+__all__ = ["FabricConfig", "Testbed"]
+
+
+@dataclass
+class FabricConfig:
+    #: Forward-path bandwidth, bytes/ns (200 Gbps).
+    rate: float = gbps(200)
+    #: One-way propagation+switching delay, ns (two directly-attached
+    #: servers through one ToR; calibrated against perftest's ~1.5 µs RTT).
+    one_way_delay: float = 0.6 * US
+    #: Switch egress buffer, bytes.
+    switch_buffer: int = 2_000_000
+    #: DCTCP marking threshold K, bytes.
+    ecn_threshold: int = 300_000
+
+
+class Testbed:
+    """Owns the simulator, the receiver host, the fabric, and the senders."""
+
+    def __init__(self, host_config: Optional[HostConfig] = None,
+                 fabric_config: Optional[FabricConfig] = None,
+                 dctcp_config: Optional[DctcpConfig] = None,
+                 seed: int = 0):
+        self.sim = Simulator()
+        self.rng = RngRegistry(seed)
+        self.host = Host(self.sim, host_config)
+        self.fabric_config = fabric_config or FabricConfig()
+        self.dctcp_config = dctcp_config or DctcpConfig()
+        self.port = SwitchPort(
+            self.sim,
+            rate=self.fabric_config.rate,
+            propagation=self.fabric_config.one_way_delay,
+            deliver=self._deliver,
+            buffer_bytes=self.fabric_config.switch_buffer,
+            ecn_threshold=self.fabric_config.ecn_threshold,
+            name="tor",
+        )
+        self.senders: Dict[int, DctcpSender] = {}
+        self.flows: List[Flow] = []
+        self.io_arch = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def install_io_arch(self, io_arch) -> None:
+        """Attach the receive-side I/O architecture to the host NIC."""
+        self.io_arch = io_arch
+        io_arch.ack = self.ack
+        self.host.nic.install_handler(io_arch)
+
+    def add_flow(self, flow: Flow) -> DctcpSender:
+        """Create the sender-side transport for ``flow`` and register it
+        with the installed I/O architecture."""
+        if self.io_arch is None:
+            raise RuntimeError("install_io_arch() before add_flow()")
+        sender = DctcpSender(self.sim, flow, self.port.send,
+                             self.dctcp_config)
+        self.senders[flow.flow_id] = sender
+        self.flows.append(flow)
+        self.io_arch.register_flow(flow)
+        return sender
+
+    # ------------------------------------------------------------------
+    # Data / ACK paths
+    # ------------------------------------------------------------------
+    def _deliver(self, packet: Packet) -> None:
+        packet.arrival_time = self.sim.now
+        self.host.nic.receive(packet)
+
+    def ack(self, packet: Packet, extra_mark: bool = False) -> None:
+        """ACK an accepted packet back to its sender after the reverse path.
+
+        ``extra_mark`` lets host-side controllers (HostCC, ShRing's ring
+        guard, CEIO's slow-path guard) assert congestion on top of any CE
+        mark the switch applied.
+        """
+        sender = self.senders.get(packet.flow.flow_id)
+        if sender is None:
+            return
+        marked = packet.ecn_marked or extra_mark
+        seq = packet.seq
+        self.sim.schedule(self.fabric_config.one_way_delay,
+                          lambda: sender.on_ack(seq, marked))
+
+    def run(self, until: float) -> None:
+        self.sim.run(until=until)

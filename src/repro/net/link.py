@@ -1,0 +1,118 @@
+"""Point-to-point link and ECN-marking switch port.
+
+The testbed fabric is client NIC -> switch -> server NIC at 200 Gbps. The
+switch egress port toward the server is the only contended queue; it does
+standard DCTCP-style ECN marking (mark when the instantaneous queue exceeds
+K) and tail-drops when its buffer is full.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sim import Simulator, Store
+from ..sim.stats import Counter, TimeWeightedGauge
+
+__all__ = ["Link", "SwitchPort"]
+
+
+class Link:
+    """FIFO serialising link: rate (bytes/ns) plus propagation delay."""
+
+    def __init__(self, sim: Simulator, rate: float, propagation: float,
+                 deliver: Optional[Callable] = None, name: str = "link"):
+        if rate <= 0:
+            raise ValueError("link rate must be positive")
+        self.sim = sim
+        self.rate = rate
+        self.propagation = propagation
+        self.deliver = deliver
+        self.name = name
+        self._queue = Store(sim, name=f"{name}.q")
+        self.tx_packets = Counter(f"{name}.tx")
+        self.tx_bytes = Counter(f"{name}.tx_bytes")
+        sim.process(self._egress(), name=f"{name}-egress")
+
+    def send(self, packet) -> None:
+        """Enqueue a packet for transmission (non-blocking, unbounded —
+        upstream senders are window-limited)."""
+        self._queue.try_put(packet)
+
+    def _egress(self):
+        while True:
+            packet = yield self._queue.get()
+            yield self.sim.timeout(packet.size / self.rate)
+            self.tx_packets.add(1)
+            self.tx_bytes.add(packet.size)
+            if self.deliver is not None:
+                # Propagation does not occupy the link: schedule delivery.
+                self.sim.schedule(self.propagation,
+                                  self._make_delivery(packet))
+
+    def _make_delivery(self, packet):
+        deliver = self.deliver
+
+        def _deliver():
+            deliver(packet)
+
+        return _deliver
+
+
+class SwitchPort:
+    """Shared egress queue with ECN marking and tail drop.
+
+    ``ecn_threshold`` is DCTCP's K in bytes; packets enqueued while the
+    queue exceeds K are CE-marked. The buffer is finite: overflowing
+    packets are dropped (the sender discovers this via duplicate ACKs or
+    retransmission timeout).
+    """
+
+    def __init__(self, sim: Simulator, rate: float, propagation: float,
+                 deliver: Callable, buffer_bytes: int = 1_000_000,
+                 ecn_threshold: int = 200_000, name: str = "swport"):
+        self.sim = sim
+        self.rate = rate
+        self.propagation = propagation
+        self.deliver = deliver
+        self.buffer_bytes = buffer_bytes
+        self.ecn_threshold = ecn_threshold
+        self.name = name
+        self._queue = Store(sim, name=f"{name}.q")
+        self._queued_bytes = 0
+        self.queue_gauge = TimeWeightedGauge(f"{name}.queue")
+        self.tx_packets = Counter(f"{name}.tx")
+        self.marked_packets = Counter(f"{name}.marked")
+        self.dropped_packets = Counter(f"{name}.dropped")
+        sim.process(self._egress(), name=f"{name}-egress")
+
+    @property
+    def queued_bytes(self) -> int:
+        return self._queued_bytes
+
+    def send(self, packet) -> None:
+        if self._queued_bytes + packet.size > self.buffer_bytes:
+            self.dropped_packets.add(1)
+            return
+        if self._queued_bytes > self.ecn_threshold:
+            packet.ecn_marked = True
+            self.marked_packets.add(1)
+        self._queued_bytes += packet.size
+        self.queue_gauge.update(self.sim.now, self._queued_bytes)
+        self._queue.try_put(packet)
+
+    def _egress(self):
+        while True:
+            packet = yield self._queue.get()
+            yield self.sim.timeout(packet.size / self.rate)
+            self._queued_bytes -= packet.size
+            self.queue_gauge.update(self.sim.now, self._queued_bytes)
+            self.tx_packets.add(1)
+            self.sim.schedule(self.propagation, self._make_delivery(packet))
+
+    def _make_delivery(self, packet):
+        deliver = self.deliver
+
+        def _deliver():
+            deliver(packet)
+
+        return _deliver

@@ -1,0 +1,115 @@
+"""Packets, messages, and flow descriptions.
+
+Terminology follows §2.1: *CPU-involved flows* are consumed by application
+code on host cores (RPCs); *CPU-bypass flows* are RDMA-style transfers whose
+payload goes to DRAM without per-packet CPU processing (the NIC signals
+completion per message batch, e.g. via Write-with-immediate).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import List, Optional
+
+__all__ = ["FlowKind", "Packet", "Message", "Flow",
+           "ETHERNET_OVERHEAD", "MTU"]
+
+#: Ethernet + IP + UDP/RoCE framing bytes added to every payload.
+ETHERNET_OVERHEAD = 42
+MTU = 1500
+
+_flow_ids = itertools.count(1)
+
+
+class FlowKind(enum.Enum):
+    CPU_INVOLVED = "cpu-involved"
+    CPU_BYPASS = "cpu-bypass"
+
+
+class Packet:
+    """One wire packet. ``size`` is the full frame; payload lands in one
+    I/O buffer at the receiver."""
+
+    __slots__ = ("flow", "seq", "size", "payload", "message_id",
+                 "last_in_message", "ecn_marked", "send_time",
+                 "first_send_time", "arrival_time", "delivered_time",
+                 "retransmitted")
+
+    def __init__(self, flow: "Flow", seq: int, payload: int,
+                 message_id: int = 0, last_in_message: bool = False):
+        self.flow = flow
+        self.seq = seq
+        self.payload = payload
+        self.size = payload + ETHERNET_OVERHEAD
+        self.message_id = message_id
+        self.last_in_message = last_in_message
+        self.ecn_marked = False
+        self.send_time: float = 0.0        # last (re)transmission
+        self.first_send_time: float = -1.0  # original transmission
+        self.arrival_time: float = 0.0     # at the receiver NIC MAC
+        self.delivered_time: float = 0.0   # visible to host software
+        self.retransmitted = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Packet f{self.flow.flow_id} seq={self.seq} "
+                f"{self.payload}B msg={self.message_id}>")
+
+
+class Message:
+    """An application message: ``count`` packets of ``payload`` bytes each.
+
+    The last packet carries ``last_in_message`` (the Write-with-immediate /
+    final-fragment marker the CEIO driver keys lazy credit release on).
+    """
+
+    _ids = itertools.count(1)
+
+    __slots__ = ("message_id", "payload", "count", "submit_time",
+                 "complete_time")
+
+    def __init__(self, payload: int, count: int = 1):
+        if payload <= 0 or count <= 0:
+            raise ValueError("message needs positive payload and count")
+        self.message_id = next(Message._ids)
+        self.payload = payload
+        self.count = count
+        self.submit_time: float = 0.0
+        self.complete_time: float = 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.payload * self.count
+
+    def packets(self, flow: "Flow", seq_start: int) -> List[Packet]:
+        return [Packet(flow, seq_start + i, self.payload,
+                       message_id=self.message_id,
+                       last_in_message=(i == self.count - 1))
+                for i in range(self.count)]
+
+
+class Flow:
+    """A network flow between a client thread and a receiver queue."""
+
+    def __init__(self, kind: FlowKind, name: str = "",
+                 message_payload: int = 1024, packets_per_message: int = 1,
+                 flow_id: Optional[int] = None):
+        self.flow_id = next(_flow_ids) if flow_id is None else flow_id
+        self.kind = kind
+        self.name = name or f"flow{self.flow_id}"
+        self.message_payload = message_payload
+        self.packets_per_message = packets_per_message
+        #: Attached transport sender (set by the fabric when wired up).
+        self.sender = None
+        #: Receiver-side state handle (set by the I/O architecture).
+        self.rx = None
+
+    @property
+    def is_cpu_involved(self) -> bool:
+        return self.kind is FlowKind.CPU_INVOLVED
+
+    def make_message(self) -> Message:
+        return Message(self.message_payload, self.packets_per_message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Flow {self.name} {self.kind.value}>"

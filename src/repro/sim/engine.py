@@ -1,0 +1,413 @@
+"""Discrete-event simulation kernel.
+
+This module implements a small, self-contained discrete-event engine in the
+style of SimPy: a :class:`Simulator` owns an event calendar (a binary heap
+keyed on simulated time) and *processes* are plain Python generators that
+yield :class:`Event` objects to suspend until those events fire.
+
+Time is a ``float`` measured in **nanoseconds** throughout the code base;
+helpers for other units live in :mod:`repro.sim.units`.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def worker(sim, name, period):
+...     while sim.now < 10:
+...         yield sim.timeout(period)
+...         log.append((name, sim.now))
+>>> _ = sim.process(worker(sim, "a", 3))
+>>> _ = sim.process(worker(sim, "b", 5))
+>>> sim.run(until=10)
+>>> log
+[('a', 3.0), ('b', 5.0), ('a', 6.0), ('a', 9.0), ('b', 10.0)]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AnyOf",
+    "AllOf",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown *into* a process when :meth:`Process.interrupt` is called.
+
+    The interrupted process may catch the exception and continue; ``cause``
+    carries an arbitrary, caller-supplied payload describing the reason.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+#: Sentinel distinguishing "not yet triggered" from a ``None`` event value.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` (or :meth:`fail`)
+    *triggers* it, scheduling all registered callbacks at the current
+    simulated time. Events are single-use: triggering twice is an error.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        #: Callables invoked with this event when it fires. ``None`` once fired.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok = True
+
+    # -- inspection ------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has been scheduled to fire (value is set)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have already run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """``True`` if the event succeeded, ``False`` if it failed."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value is not yet available")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering ``value`` to waiters."""
+        if self.triggered:
+            raise SimulationError("event has already been triggered")
+        self._value = value
+        self.sim._schedule_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception to be raised in waiters."""
+        if self.triggered:
+            raise SimulationError("event has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule_event(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Register ``fn`` to run when the event fires.
+
+        If the event has already been processed the callback runs at the
+        *current* simulation step instead of being lost.
+        """
+        if self.callbacks is None:
+            # Already fired: deliver on a fresh immediate event.
+            imm = Event(self.sim)
+            imm.add_callback(lambda _e: fn(self))
+            imm.succeed()
+        else:
+            self.callbacks.append(fn)
+
+    def _process(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None
+        for fn in callbacks:
+            fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` nanoseconds after creation."""
+
+    __slots__ = ("delay", "_delayed_value")
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._delayed_value = value
+        sim._schedule_event(self, delay)
+
+    def _process(self) -> None:
+        # The value is only published when the timeout actually fires so
+        # that ``triggered`` stays False while the timeout is pending.
+        if self._value is _PENDING:
+            self._value = self._delayed_value
+        super()._process()
+
+
+class Process(Event):
+    """A running generator; also an event that fires when the generator ends.
+
+    The event value is the generator's return value (``StopIteration.value``).
+    """
+
+    __slots__ = ("generator", "_target", "name")
+
+    def __init__(self, sim: "Simulator",
+                 generator: Generator[Event, Any, Any],
+                 name: str = ""):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process() requires a generator, got {generator!r}")
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on (None when running).
+        self._target: Optional[Event] = None
+        # Kick off on the next simulation step.
+        init = Event(sim)
+        init.add_callback(self._resume)
+        init.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._target is None:
+            raise SimulationError(
+                "cannot interrupt a process that is not waiting")
+        target, self._target = self._target, None
+        # Detach from the event we were waiting on so its eventual firing
+        # does not resume us a second time.
+        if target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        imm = Event(self.sim)
+        imm.add_callback(lambda _e: self._step_throw(Interrupt(cause)))
+        imm.succeed()
+
+    # -- internal --------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        if event.ok:
+            self._step_send(event._value)
+        else:
+            self._step_throw(event._value)
+
+    def _step_send(self, value: Any) -> None:
+        try:
+            target = self.generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Exception as exc:
+            self._crash(exc)
+            return
+        self._wait_on(target)
+
+    def _step_throw(self, exc: BaseException) -> None:
+        try:
+            target = self.generator.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            raise SimulationError(
+                f"process {self.name!r} did not catch an Interrupt")
+        except Exception as inner:
+            self._crash(inner)
+            return
+        self._wait_on(target)
+
+    def _crash(self, exc: BaseException) -> None:
+        """An exception escaped the generator. If another process is
+        waiting on this one, deliver the failure there (a parent can catch
+        it); otherwise re-raise so the error never passes silently."""
+        if self.callbacks:
+            self.fail(exc)
+        else:
+            raise exc
+
+    def _wait_on(self, target: Event) -> None:
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event")
+        if target.sim is not self.sim:
+            raise SimulationError("cannot wait on an event from another simulator")
+        self._target = target
+        target.add_callback(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name!r} alive={self.is_alive}>"
+
+
+class _Condition(Event):
+    """Base for :class:`AnyOf` / :class:`AllOf` composite events."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("condition mixes simulators")
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed({})
+        else:
+            for ev in self.events:
+                ev.add_callback(self._check)
+
+    def _collect(self) -> dict:
+        return {ev: ev._value for ev in self.events if ev.triggered}
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires as soon as any constituent event fires."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event._value)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Fires once every constituent event has fired."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._collect())
+
+
+class Simulator:
+    """The event calendar and simulated clock.
+
+    All model components hold a reference to one ``Simulator`` and interact
+    through :meth:`timeout`, :meth:`event`, and :meth:`process`.
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._queue: List = []  # heap of (time, seq, event)
+        self._seq = itertools.count()
+        self._active = True
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    # -- event creation ---------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` ns from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any],
+                name: str = "") -> Process:
+        """Start running ``generator`` as a simulation process."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Run a plain callable ``delay`` ns from now (no process needed)."""
+        ev = Timeout(self, delay)
+        ev.add_callback(lambda _e: fn())
+        return ev
+
+    # -- execution ---------------------------------------------------------
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, next(self._seq), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one scheduled event."""
+        when, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        event._process()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the calendar empties or simulated time reaches ``until``.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the last event fires earlier, so rate computations based on
+        ``sim.now`` are well-defined.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"run(until={until}) is in the past (now={self._now})")
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                break
+            self.step()
+        if until is not None:
+            self._now = max(self._now, until)
+
+    def run_process(self, generator: Generator[Event, Any, Any],
+                    until: Optional[float] = None) -> Any:
+        """Convenience: start ``generator``, run, and return its value."""
+        proc = self.process(generator)
+        self.run(until=until)
+        if not proc.triggered:
+            raise SimulationError("process did not finish before run() ended")
+        if not proc.ok:
+            raise proc._value
+        return proc.value

@@ -1,0 +1,285 @@
+"""Measurement primitives: counters, gauges, histograms, rate meters.
+
+Every device model exposes its observable state through these classes so
+experiments read metrics uniformly. Percentiles use an HDR-style
+log-linear-bucket histogram: exact enough for P99.9 reporting at a bounded
+memory cost, insensitive to sample count.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "TimeWeightedGauge",
+    "Histogram",
+    "RateMeter",
+    "TimeSeries",
+    "StatRegistry",
+]
+
+
+class Counter:
+    """A monotonically increasing count (packets, bytes, misses...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value: float = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("Counter.add() amount must be non-negative")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class TimeWeightedGauge:
+    """Tracks a level over time, yielding its time-weighted average and max.
+
+    Typical use: IIO buffer occupancy, ring depth, credit level. Call
+    :meth:`update` whenever the level changes.
+    """
+
+    def __init__(self, name: str = "", initial: float = 0.0, t0: float = 0.0):
+        self.name = name
+        self._level = initial
+        self._t_last = t0
+        self._t_start = t0
+        self._area = 0.0
+        self._max = initial
+        self._min = initial
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    @property
+    def max(self) -> float:
+        return self._max
+
+    @property
+    def min(self) -> float:
+        return self._min
+
+    def update(self, now: float, level: float) -> None:
+        if now < self._t_last:
+            raise ValueError("TimeWeightedGauge updated backwards in time")
+        self._area += self._level * (now - self._t_last)
+        self._t_last = now
+        self._level = level
+        self._max = max(self._max, level)
+        self._min = min(self._min, level)
+
+    def adjust(self, now: float, delta: float) -> None:
+        self.update(now, self._level + delta)
+
+    def mean(self, now: Optional[float] = None) -> float:
+        """Time-weighted mean from construction until ``now``."""
+        t_end = self._t_last if now is None else now
+        span = t_end - self._t_start
+        if span <= 0:
+            return self._level
+        area = self._area + self._level * (t_end - self._t_last)
+        return area / span
+
+    def __repr__(self) -> str:
+        return f"TimeWeightedGauge({self.name!r}, level={self._level})"
+
+
+class Histogram:
+    """Log-linear bucket histogram with percentile queries.
+
+    Buckets are exact integers up to ``linear_limit`` then geometric with
+    ``growth`` ratio. Values below ``lo`` clamp to the first bucket. Designed
+    for latency samples in nanoseconds.
+    """
+
+    def __init__(self, name: str = "", lo: float = 1.0,
+                 hi: float = 1e10, linear_limit: int = 128,
+                 growth: float = 1.03):
+        if lo <= 0 or hi <= lo:
+            raise ValueError("need 0 < lo < hi")
+        self.name = name
+        bounds: List[float] = [float(i) for i in range(1, linear_limit + 1)]
+        x = float(linear_limit)
+        while x < hi:
+            x *= growth
+            bounds.append(x)
+        self._bounds = bounds  # bucket i covers (bounds[i-1], bounds[i]]
+        self._counts = [0] * len(bounds)
+        self.count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def record(self, value: float, n: int = 1) -> None:
+        if n <= 0:
+            raise ValueError("record() needs n >= 1")
+        idx = bisect_left(self._bounds, value)
+        if idx >= len(self._counts):
+            idx = len(self._counts) - 1
+        self._counts[idx] += n
+        self.count += n
+        self._sum += value * n
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self.count if self.count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Return the upper bound of the bucket holding the p-th percentile.
+
+        ``p`` is in [0, 100]. Returns 0 for an empty histogram.
+        """
+        if not 0 <= p <= 100:
+            raise ValueError("percentile p must be in [0, 100]")
+        if self.count == 0:
+            return 0.0
+        target = math.ceil(self.count * p / 100.0)
+        target = max(target, 1)
+        cum = 0
+        for bound, n in zip(self._bounds, self._counts):
+            cum += n
+            if cum >= target:
+                return min(bound, self._max)
+        return self._max
+
+    def percentiles(self, ps: Sequence[float]) -> Dict[float, float]:
+        return {p: self.percentile(p) for p in ps}
+
+    def merge(self, other: "Histogram") -> None:
+        if len(other._counts) != len(self._counts):
+            raise ValueError("cannot merge histograms with different buckets")
+        for i, n in enumerate(other._counts):
+            self._counts[i] += n
+        self.count += other.count
+        self._sum += other._sum
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    def __repr__(self) -> str:
+        return (f"Histogram({self.name!r}, n={self.count}, "
+                f"mean={self.mean:.1f})")
+
+
+class RateMeter:
+    """Windowed rate estimator (events or bytes per nanosecond).
+
+    Keeps per-window sums; :meth:`rate` reports the average over the most
+    recent complete windows. Used for NIC-core throughput monitoring and
+    the HostCC PCIe-bandwidth signal.
+    """
+
+    def __init__(self, name: str = "", window: float = 10_000.0,
+                 keep: int = 8):
+        if window <= 0 or keep < 1:
+            raise ValueError("window must be > 0 and keep >= 1")
+        self.name = name
+        self.window = window
+        self.keep = keep
+        self._cur_start = 0.0
+        self._cur_sum = 0.0
+        self._history: List[float] = []
+        self.total = 0.0
+
+    def _roll(self, now: float) -> None:
+        while now >= self._cur_start + self.window:
+            self._history.append(self._cur_sum)
+            if len(self._history) > self.keep:
+                self._history.pop(0)
+            self._cur_sum = 0.0
+            self._cur_start += self.window
+
+    def record(self, now: float, amount: float = 1.0) -> None:
+        self._roll(now)
+        self._cur_sum += amount
+        self.total += amount
+
+    def rate(self, now: float) -> float:
+        """Average rate per ns over retained complete windows."""
+        self._roll(now)
+        if not self._history:
+            elapsed = now - self._cur_start
+            return self._cur_sum / elapsed if elapsed > 0 else 0.0
+        return sum(self._history) / (len(self._history) * self.window)
+
+    def mean_rate(self, now: float) -> float:
+        return self.total / now if now > 0 else 0.0
+
+
+class TimeSeries:
+    """A recorded sequence of (time, value) points for report plotting."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.points: List[Tuple[float, float]] = []
+
+    def record(self, now: float, value: float) -> None:
+        self.points.append((now, value))
+
+    def times(self) -> List[float]:
+        return [t for t, _v in self.points]
+
+    def values(self) -> List[float]:
+        return [v for _t, v in self.points]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+class StatRegistry:
+    """Flat namespace of named metrics for one simulation run."""
+
+    def __init__(self) -> None:
+        self._stats: Dict[str, object] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_make(name, Counter)
+
+    def gauge(self, name: str, t0: float = 0.0) -> TimeWeightedGauge:
+        return self._get_or_make(name, lambda n: TimeWeightedGauge(n, t0=t0))
+
+    def histogram(self, name: str, **kwargs) -> Histogram:
+        return self._get_or_make(name, lambda n: Histogram(n, **kwargs))
+
+    def rate_meter(self, name: str, **kwargs) -> RateMeter:
+        return self._get_or_make(name, lambda n: RateMeter(n, **kwargs))
+
+    def timeseries(self, name: str) -> TimeSeries:
+        return self._get_or_make(name, TimeSeries)
+
+    def _get_or_make(self, name: str, factory):
+        stat = self._stats.get(name)
+        if stat is None:
+            stat = factory(name)
+            self._stats[name] = stat
+        return stat
+
+    def get(self, name: str):
+        return self._stats.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._stats)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stats

@@ -1,0 +1,68 @@
+"""Unit helpers and physical constants.
+
+Conventions used throughout the code base:
+
+- **time** — nanoseconds (``float``)
+- **size** — bytes (``int`` where possible)
+- **rate** — bytes per nanosecond (equal to GB/s divided by ~1.07, i.e.
+  ``200 Gbps == 25 bytes/ns``)
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "NS", "US", "MS", "SEC",
+    "KB", "MB", "GB", "KIB", "MIB", "GIB",
+    "CACHE_LINE",
+    "gbps", "to_gbps", "mpps", "to_mpps", "ns_per_packet",
+    "ghz_cycle_ns",
+]
+
+NS = 1.0
+US = 1_000.0
+MS = 1_000_000.0
+SEC = 1_000_000_000.0
+
+# Decimal sizes (network conventions) and binary sizes (memory conventions).
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+
+CACHE_LINE = 64
+
+
+def gbps(g: float) -> float:
+    """Convert gigabits-per-second to bytes-per-nanosecond."""
+    return g * 1e9 / 8 / 1e9
+
+
+def to_gbps(bytes_per_ns: float) -> float:
+    """Convert bytes-per-nanosecond back to gigabits-per-second."""
+    return bytes_per_ns * 8
+
+
+def mpps(m: float) -> float:
+    """Convert million-packets-per-second to packets-per-nanosecond."""
+    return m * 1e6 / 1e9
+
+
+def to_mpps(packets_per_ns: float) -> float:
+    """Convert packets-per-nanosecond to million-packets-per-second."""
+    return packets_per_ns * 1e3
+
+
+def ns_per_packet(link_gbps: float, frame_bytes: int) -> float:
+    """Inter-arrival time of back-to-back frames on a link.
+
+    >>> round(ns_per_packet(200, 1045), 1)  # ~1024B payload + headers
+    41.8
+    """
+    return frame_bytes / gbps(link_gbps)
+
+
+def ghz_cycle_ns(freq_ghz: float) -> float:
+    """Duration of one CPU cycle in nanoseconds."""
+    return 1.0 / freq_ghz

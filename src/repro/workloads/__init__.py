@@ -1,0 +1,30 @@
+"""Workloads: generators, measurement windows, and paper scenarios."""
+
+from .generators import (
+    FixedSize,
+    LognormalSize,
+    LongTailSize,
+    UniformSize,
+    pareto_burst_lengths,
+    poisson_arrivals,
+)
+from .churn import ChurnConfig, ChurnResult, UdChurnScenario
+from .measure import FlowMetrics, Measurement, MeasurementWindow
+from .scenarios import (
+    Scenario,
+    ScenarioConfig,
+    add_two_burst_flows,
+    replace_two_with_bypass,
+    scaled_host_config,
+    shring_entries_for,
+)
+
+__all__ = [
+    "FixedSize", "LognormalSize", "LongTailSize", "UniformSize",
+    "pareto_burst_lengths", "poisson_arrivals",
+    "ChurnConfig", "ChurnResult", "UdChurnScenario",
+    "FlowMetrics", "Measurement", "MeasurementWindow",
+    "Scenario", "ScenarioConfig",
+    "add_two_burst_flows", "replace_two_with_bypass",
+    "scaled_host_config", "shring_entries_for",
+]

@@ -1,0 +1,246 @@
+"""Scenario builders reproducing the paper's evaluation setups (§2.3, §6).
+
+A :class:`Scenario` wires a testbed, one I/O architecture, eRPC/KV servers
+for CPU-involved flows, LineFS servers for CPU-bypass flows, and
+saturating clients — then runs warm-up + measurement windows. Dynamic
+behaviours (flow replacement, bursts) are expressed as per-phase actions.
+
+Experiments run on a *scaled* host by default (LLC divided by
+``scale``): every capacity relationship of the paper's testbed is
+preserved (baseline rings exceed the DDIO partition, ShRing's shared ring
+stays below it, CEIO's credit pool equals it) while steady state arrives
+``scale``-times sooner — essential for a packet-level simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..apps.erpc import ErpcConfig, ErpcServer
+from ..apps.kvstore import KvStore
+from ..apps.linefs import LineFsConfig, LineFsServer
+from ..core import CeioConfig
+from ..hw import CacheConfig, HostConfig
+from ..io_arch import build_arch
+from ..io_arch.shring import ShringConfig
+from ..net import Flow, FlowKind, OpenLoopSource, SaturatingSource, Testbed
+from ..sim.units import MIB, US
+from .measure import Measurement, MeasurementWindow
+
+__all__ = ["ScenarioConfig", "Scenario", "scaled_host_config",
+           "shring_entries_for"]
+
+
+def scaled_host_config(scale: int = 4, set_associative: bool = False,
+                       io_buf_size: int = 2048) -> HostConfig:
+    """The paper's testbed with the LLC divided by ``scale``.
+
+    Only the cache shrinks: link, PCIe, DRAM, and ring sizes keep their
+    real values, so the *pressure relationships* (rings vs DDIO capacity,
+    shared ring vs DDIO capacity, credits vs DDIO capacity) are identical
+    to the full-size testbed while transients are ``scale`` x shorter.
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    cache = CacheConfig(size=12 * MIB // scale,
+                        set_associative=set_associative)
+    return HostConfig(cache=cache, io_buf_size=io_buf_size)
+
+
+def shring_entries_for(host_config: HostConfig) -> int:
+    """ShRing's ring size rule from the paper's eval: 4096 entries under a
+    12 MB LLC, i.e. two thirds of LLC-capacity-in-buffers."""
+    return (host_config.cache.size // host_config.io_buf_size) * 2 // 3
+
+
+@dataclass
+class ScenarioConfig:
+    arch: str = "ceio"
+    #: LLC scale-down factor (see :func:`scaled_host_config`).
+    scale: int = 4
+    #: Payload of CPU-involved (KV/echo) request packets.
+    payload: int = 144
+    #: eRPC transport: "dpdk" or "rdma".
+    transport: str = "dpdk"
+    n_involved: int = 8
+    n_bypass: int = 0
+    #: Packets per LineFS chunk (chunk bytes = chunk_packets * payload).
+    chunk_packets: int = 32
+    bypass_payload: int = 1024
+    #: Closed-loop outstanding messages per client thread.
+    outstanding: int = 96
+    #: If set, CPU-involved clients are *open-loop* at this aggregate
+    #: offered load (Mpps across all involved flows) instead of
+    #: closed-loop saturating — the right methodology for comparing
+    #: latency across architectures at identical demand.
+    open_loop_mpps: Optional[float] = None
+    warmup: float = 400 * US
+    duration: float = 600 * US
+    seed: int = 0
+    set_associative_cache: bool = False
+    io_buf_size: int = 2048
+    #: Extra per-request CPU cycles charged by the RPC handler (models
+    #: heavier application logic; Table 2's echo-with-full-stack setup).
+    app_extra_cycles: float = 0.0
+    ceio: Optional[CeioConfig] = None
+    linefs: Optional[LineFsConfig] = None
+    host_config: Optional[HostConfig] = None
+
+
+class Scenario:
+    """One built testbed + applications, ready to run and measure."""
+
+    def __init__(self, config: ScenarioConfig):
+        self.config = config
+        host_config = config.host_config or scaled_host_config(
+            config.scale, config.set_associative_cache, config.io_buf_size)
+        self.testbed = Testbed(host_config=host_config, seed=config.seed)
+        self.arch = self._build_arch(host_config)
+        self.testbed.install_io_arch(self.arch)
+        self.kv = KvStore(seed=config.seed)
+        self.involved: List[Tuple[Flow, ErpcServer, SaturatingSource]] = []
+        self.bypass: List[Tuple[Flow, LineFsServer, SaturatingSource]] = []
+        self._built = False
+
+    def _build_arch(self, host_config: HostConfig):
+        cfg = self.config
+        if cfg.arch == "shring":
+            return build_arch("shring", self.testbed.host,
+                              config=ShringConfig(
+                                  ring_entries=shring_entries_for(host_config)))
+        if cfg.arch == "ceio" and cfg.ceio is not None:
+            return build_arch("ceio", self.testbed.host, config=cfg.ceio)
+        return build_arch(cfg.arch, self.testbed.host)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def build(self) -> "Scenario":
+        cfg = self.config
+        for i in range(cfg.n_involved):
+            self.add_involved_flow(f"kv{i}")
+        for i in range(cfg.n_bypass):
+            self.add_bypass_flow(f"dfs{i}")
+        self._built = True
+        return self
+
+    def add_involved_flow(self, name: str,
+                          outstanding: Optional[int] = None
+                          ) -> Tuple[Flow, ErpcServer, SaturatingSource]:
+        cfg = self.config
+        flow = Flow(FlowKind.CPU_INVOLVED, name=name,
+                    message_payload=cfg.payload, packets_per_message=1)
+        sender = self.testbed.add_flow(flow)
+        core = self.testbed.host.cpu.allocate()
+        erpc_config = ErpcConfig(transport=cfg.transport)
+        erpc_config.rpc_overhead_cycles += cfg.app_extra_cycles
+        server = ErpcServer(self.arch, flow, core, self.kv.handle,
+                            config=erpc_config)
+        server.start()
+        if cfg.open_loop_mpps is not None:
+            per_flow_rate = cfg.open_loop_mpps * 1e-3 / max(1, cfg.n_involved)
+            source = OpenLoopSource(
+                self.testbed.sim, sender, rate_msgs_per_ns=per_flow_rate,
+                rng=self.testbed.rng.stream(f"openloop-{name}"))
+        else:
+            source = SaturatingSource(
+                self.testbed.sim, sender,
+                outstanding=cfg.outstanding if outstanding is None
+                else outstanding)
+        source.start(delay=self._stagger())
+        entry = (flow, server, source)
+        self.involved.append(entry)
+        return entry
+
+    def _stagger(self) -> float:
+        """Client threads come up a few microseconds apart, not in lockstep."""
+        rng = self.testbed.rng.stream("client-stagger")
+        return rng.uniform(0, 20_000.0)
+
+    def add_bypass_flow(self, name: str
+                        ) -> Tuple[Flow, LineFsServer, SaturatingSource]:
+        cfg = self.config
+        flow = Flow(FlowKind.CPU_BYPASS, name=name,
+                    message_payload=cfg.bypass_payload,
+                    packets_per_message=cfg.chunk_packets)
+        sender = self.testbed.add_flow(flow)
+        core = self.testbed.host.cpu.allocate()
+        server = LineFsServer(self.arch, core, config=cfg.linefs)
+        server.attach_flow(flow)
+        server.start()
+        source = SaturatingSource(self.testbed.sim, sender,
+                                  outstanding=max(4, cfg.outstanding // 12))
+        source.start(delay=self._stagger())
+        entry = (flow, server, source)
+        self.bypass.append(entry)
+        return entry
+
+    def remove_involved_flow(self) -> Optional[Flow]:
+        """Stop the most recent CPU-involved flow and free its core."""
+        if not self.involved:
+            return None
+        flow, server, source = self.involved.pop()
+        source.stop()
+        server.stop()
+        self.testbed.host.cpu.release(server.core)
+        return flow
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_measure(self, warmup: Optional[float] = None,
+                    duration: Optional[float] = None) -> Measurement:
+        """Warm up, then measure one steady-state window."""
+        cfg = self.config
+        if not self._built:
+            self.build()
+        sim = self.testbed.sim
+        sim.run(until=sim.now + (cfg.warmup if warmup is None else warmup))
+        window = MeasurementWindow(self.testbed, self.arch)
+        sim.run(until=sim.now + (cfg.duration if duration is None else duration))
+        measurement = window.finish()
+        measurement.extras.update(self._arch_extras())
+        return measurement
+
+    def run_phases(self, actions: List[Callable[["Scenario"], None]],
+                   phase_warmup: Optional[float] = None,
+                   phase_duration: Optional[float] = None
+                   ) -> List[Measurement]:
+        """Phase 0 runs as built; each action mutates the scenario and a new
+        warm-up + window follows (the Figure 4 / Figure 10 time axis)."""
+        results = [self.run_measure(phase_warmup, phase_duration)]
+        for action in actions:
+            action(self)
+            results.append(self.run_measure(phase_warmup, phase_duration))
+        return results
+
+    def _arch_extras(self) -> dict:
+        extras = {}
+        arch = self.arch
+        for attr in ("fast_packets", "slow_packets", "overdraft",
+                     "ring_full_drops", "guard_marks", "congestion_events"):
+            counter = getattr(arch, attr, None)
+            if counter is not None:
+                extras[attr] = counter.value
+        if hasattr(arch, "fast_fraction"):
+            extras["fast_fraction"] = arch.fast_fraction()
+        return extras
+
+
+def replace_two_with_bypass(scenario: Scenario) -> None:
+    """The Figure 4a / 10a phase action: two CPU-involved flows are
+    replaced by two CPU-bypass (LineFS) flows."""
+    for _ in range(2):
+        scenario.remove_involved_flow()
+    n = len(scenario.bypass)
+    for i in range(2):
+        scenario.add_bypass_flow(f"dfs{n + i}")
+
+
+def add_two_burst_flows(scenario: Scenario) -> None:
+    """The Figure 4b / 10b phase action: two additional burst CPU-involved
+    flows arrive on two extra cores."""
+    n = len(scenario.involved)
+    for i in range(2):
+        scenario.add_involved_flow(f"burst{n + i}")

@@ -1,0 +1,35 @@
+"""Unit tests for perftest helpers (fast, no simulation)."""
+
+from repro.apps.perftest import _bw_batch, _packets_for
+
+
+def test_packets_for_small_message_single_packet():
+    assert _packets_for(64) == (64, 1)
+    assert _packets_for(1024) == (1024, 1)
+
+
+def test_packets_for_large_message_mtu_split():
+    payload, count = _packets_for(4096)
+    assert payload == 1024
+    assert count == 4
+    payload, count = _packets_for(4097)
+    assert count == 5
+
+
+def test_bw_batch_groups_small_messages():
+    """ib_write_bw batches small writes under one completion (>=8KB)."""
+    payload, batch = _bw_batch(512, 1)
+    assert payload == 512
+    assert batch == 16  # 8 KB / 512 B
+    assert payload * batch >= 8192
+
+
+def test_bw_batch_leaves_large_messages_alone():
+    payload, batch = _bw_batch(1024, 64)  # a 64 KB message
+    assert (payload, batch) == (1024, 64)
+
+
+def test_bw_batch_64b_messages():
+    payload, batch = _bw_batch(64, 1)
+    assert batch == 128
+    assert payload * batch == 8192

@@ -1,0 +1,292 @@
+"""Unit tests for the credit-based flow controller (Algorithm 1)."""
+
+import pytest
+
+from repro.core import CreditController
+
+
+def test_total_credits_positive_required():
+    with pytest.raises(ValueError):
+        CreditController(0)
+
+
+def test_first_flows_funded_from_reserve():
+    ctl = CreditController(3000)
+    ctl.add_flows([1, 2, 3])
+    for fid in (1, 2, 3):
+        assert ctl.account(fid).available == pytest.approx(1000)
+    assert ctl.reserve == pytest.approx(0)
+    assert ctl.audit() == pytest.approx(3000)
+
+
+def test_single_flow_gets_everything():
+    ctl = CreditController(3000)
+    ctl.add_flows([1])
+    assert ctl.account(1).available == pytest.approx(3000)
+
+
+def test_fair_share_updates_with_flow_count():
+    ctl = CreditController(3000)
+    ctl.add_flows([1, 2])
+    assert ctl.fair_share == pytest.approx(1500)
+    ctl.add_flows([3])
+    assert ctl.fair_share == pytest.approx(1000)
+
+
+def test_new_flow_taxed_from_existing_when_free():
+    """Scenario (a) of Q1: existing flows have free credits to give."""
+    ctl = CreditController(3000)
+    ctl.add_flows([1, 2])
+    ctl.add_flows([3])
+    # C_flow = 1000; each existing gives 500.
+    assert ctl.account(1).available == pytest.approx(1000)
+    assert ctl.account(2).available == pytest.approx(1000)
+    assert ctl.account(3).available == pytest.approx(1000)
+    assert not ctl.account(1).owes
+    assert ctl.audit() == pytest.approx(3000)
+
+
+def test_new_flow_owed_when_existing_credits_in_flight():
+    """Scenario (b) of Q1: an existing flow's credits are tied up in
+    unprocessed packets; it gives what it can and owes the rest."""
+    ctl = CreditController(3000)
+    ctl.add_flows([1, 2])
+    # Flow 1 consumes everything (all credits in flight).
+    for _ in range(1500):
+        assert ctl.consume(1)
+    ctl.add_flows([3])
+    acct1 = ctl.account(1)
+    assert acct1.available == pytest.approx(0)
+    assert acct1.owes
+    assert acct1.owed[3] == pytest.approx(500)
+    # Flow 2 paid its full quota immediately.
+    assert ctl.account(2).available == pytest.approx(1000)
+    # Flow 3 got flow 2's contribution only, so far.
+    assert ctl.account(3).available == pytest.approx(500)
+    assert ctl.audit() == pytest.approx(3000)
+
+
+def test_release_repays_creditors_first():
+    ctl = CreditController(3000)
+    ctl.add_flows([1, 2])
+    for _ in range(1500):
+        ctl.consume(1)
+    ctl.add_flows([3])
+    # Flow 1 owes flow 3 500 credits. Release 600: 500 go to flow 3.
+    ctl.release(1, 600)
+    assert ctl.account(3).available == pytest.approx(1000)
+    assert ctl.account(1).available == pytest.approx(100)
+    assert not ctl.account(1).owes
+    assert ctl.audit() == pytest.approx(3000)
+
+
+def test_release_partial_repayment_keeps_debt():
+    ctl = CreditController(3000)
+    ctl.add_flows([1, 2])
+    for _ in range(1500):
+        ctl.consume(1)
+    ctl.add_flows([3])
+    ctl.release(1, 200)
+    assert ctl.account(1).owed[3] == pytest.approx(300)
+    assert ctl.account(1).available == pytest.approx(0)
+    assert ctl.account(3).available == pytest.approx(700)
+
+
+def test_debt_split_across_multiple_creditors():
+    ctl = CreditController(4000)
+    ctl.add_flows([1])
+    for _ in range(4000):
+        ctl.consume(1)
+    ctl.add_flows([2, 3])
+    acct = ctl.account(1)
+    # Owes each newcomer its full share (C_flow = 4000/3).
+    share = 4000 / 3
+    assert acct.owed[2] == pytest.approx(share)
+    assert acct.owed[3] == pytest.approx(share)
+    ctl.release(1, 1000)
+    assert ctl.account(2).available == pytest.approx(500)
+    assert ctl.account(3).available == pytest.approx(500)
+    assert ctl.audit() == pytest.approx(4000)
+
+
+def test_consume_fails_when_exhausted():
+    ctl = CreditController(10)
+    ctl.add_flows([1])
+    for _ in range(10):
+        assert ctl.consume(1)
+    assert not ctl.consume(1)
+    assert ctl.credits_exhausted(1)
+
+
+def test_consume_unknown_flow_fails():
+    ctl = CreditController(10)
+    assert not ctl.consume(99)
+    assert ctl.credits_exhausted(99)
+
+
+def test_release_clamps_to_inflight():
+    ctl = CreditController(100)
+    ctl.add_flows([1])
+    ctl.consume(1)
+    ctl.release(1, 50)  # only 1 in flight
+    assert ctl.account(1).available == pytest.approx(100)
+    assert ctl.audit() == pytest.approx(100)
+
+
+def test_remove_flow_returns_credits_to_reserve():
+    ctl = CreditController(3000)
+    ctl.add_flows([1, 2])
+    ctl.remove_flow(1)
+    assert ctl.reserve == pytest.approx(1500)
+    assert ctl.audit() == pytest.approx(3000)
+
+
+def test_remove_flow_with_inflight_recovers_on_release():
+    ctl = CreditController(100)
+    ctl.add_flows([1])
+    for _ in range(40):
+        ctl.consume(1)
+    ctl.remove_flow(1)
+    assert ctl.reserve == pytest.approx(60)
+    assert ctl.audit() == pytest.approx(100)
+    ctl.release(1, 40)  # late buffer releases from the departed flow
+    assert ctl.reserve == pytest.approx(100)
+    assert ctl.audit() == pytest.approx(100)
+
+
+def test_remove_flow_forgives_debts_to_it():
+    ctl = CreditController(3000)
+    ctl.add_flows([1, 2])
+    for _ in range(1500):
+        ctl.consume(1)
+    ctl.add_flows([3])
+    assert ctl.account(1).owes
+    ctl.remove_flow(3)
+    assert not ctl.account(1).owes
+
+
+def test_repayment_to_departed_creditor_goes_to_reserve():
+    ctl = CreditController(3000)
+    ctl.add_flows([1, 2])
+    for _ in range(1500):
+        ctl.consume(1)
+    ctl.add_flows([3])
+    # Keep debt but remove creditor AFTER recording — debts are forgiven on
+    # removal, so this must not leak credits anywhere.
+    ctl.remove_flow(3)
+    ctl.release(1, 500)
+    assert ctl.audit() == pytest.approx(3000)
+
+
+def test_donation_redirects_released_credits():
+    ctl = CreditController(3000)
+    ctl.add_flows([1, 2, 3])
+    for _ in range(1000):
+        ctl.consume(3)
+    ctl.set_donating(3, True)
+    ctl.release(3, 600)
+    assert ctl.account(3).available == pytest.approx(0)
+    assert ctl.account(1).available == pytest.approx(1300)
+    assert ctl.account(2).available == pytest.approx(1300)
+    assert ctl.audit() == pytest.approx(3000)
+
+
+def test_donation_without_recipients_goes_to_reserve():
+    ctl = CreditController(100)
+    ctl.add_flows([1])
+    for _ in range(50):
+        ctl.consume(1)
+    ctl.set_donating(1, True)
+    ctl.release(1, 50)
+    assert ctl.reserve == pytest.approx(50)
+    assert ctl.audit() == pytest.approx(100)
+
+
+def test_reclaim_moves_available_to_reserve():
+    ctl = CreditController(3000)
+    ctl.add_flows([1, 2])
+    taken = ctl.reclaim(1)
+    assert taken == pytest.approx(1500)
+    assert ctl.account(1).available == 0
+    assert ctl.reserve == pytest.approx(1500)
+
+
+def test_grant_share_from_reserve():
+    ctl = CreditController(3000)
+    ctl.add_flows([1, 2])
+    ctl.reclaim(1)
+    granted = ctl.grant_share(1)
+    assert granted == pytest.approx(1500)
+    assert ctl.account(1).available == pytest.approx(1500)
+    assert ctl.audit() == pytest.approx(3000)
+
+
+def test_grant_share_taps_other_flows_when_reserve_short():
+    ctl = CreditController(3000)
+    ctl.add_flows([1, 2])
+    ctl.reclaim(1)                  # reserve = 1500
+    ctl.add_flows([3])              # newcomer takes 1000 from the reserve
+    assert ctl.reserve == pytest.approx(500)
+    granted = ctl.grant_share(1)    # share = 1000; reserve covers only 500
+    assert granted == pytest.approx(1000)
+    assert ctl.account(1).available == pytest.approx(1000)
+    assert ctl.reserve == pytest.approx(0)
+    # Flows 2 (still holding its original 1500) and 3 chipped in 250 each.
+    assert ctl.account(2).available == pytest.approx(1250)
+    assert ctl.account(3).available == pytest.approx(750)
+    assert ctl.audit() == pytest.approx(3000)
+
+
+def test_grant_share_no_op_when_flow_already_at_share():
+    ctl = CreditController(3000)
+    ctl.add_flows([1, 2])
+    assert ctl.grant_share(1) == pytest.approx(0)
+
+
+def test_grant_share_counts_inflight_toward_share():
+    ctl = CreditController(1000)
+    ctl.add_flows([1])
+    for _ in range(600):
+        ctl.consume(1)
+    ctl.reclaim(1)  # takes the 400 available
+    granted = ctl.grant_share(1)
+    # Share is 1000; 600 in flight, so only 400 more.
+    assert granted == pytest.approx(400)
+
+
+def test_add_flows_idempotent_for_existing_ids():
+    ctl = CreditController(1000)
+    ctl.add_flows([1])
+    before = ctl.account(1).available
+    assert ctl.add_flows([1]) == []
+    assert ctl.account(1).available == before
+
+
+def test_conservation_through_random_workout():
+    """Mixed operations must never create or destroy credits."""
+    import random
+    rng = random.Random(7)
+    ctl = CreditController(5000)
+    live = []
+    next_fid = 1
+    for step in range(2000):
+        op = rng.random()
+        if op < 0.05 or not live:
+            ctl.add_flows([next_fid])
+            live.append(next_fid)
+            next_fid += 1
+        elif op < 0.08 and len(live) > 1:
+            fid = live.pop(rng.randrange(len(live)))
+            ctl.remove_flow(fid)
+        elif op < 0.55:
+            ctl.consume(rng.choice(live))
+        elif op < 0.9:
+            fid = rng.choice(live)
+            ctl.release(fid, rng.randint(1, 5))
+        elif op < 0.95:
+            ctl.set_donating(rng.choice(live), rng.random() < 0.5)
+        else:
+            fid = rng.choice(live)
+            ctl.reclaim(fid)
+            ctl.grant_share(fid)
+        assert ctl.audit() == pytest.approx(5000), f"leak at step {step}"

@@ -1,0 +1,16 @@
+"""Unit tests for the dynamic-experiment helpers (no heavy simulation)."""
+
+from repro.experiments.dynamic import _involved_counts
+
+
+def test_involved_counts_dynamic_replacement():
+    assert _involved_counts("dynamic", 3) == [8, 6, 4, 2]
+
+
+def test_involved_counts_burst_additions():
+    assert _involved_counts("burst", 3) == [8, 10, 12, 14]
+
+
+def test_involved_counts_zero_phases():
+    assert _involved_counts("dynamic", 0) == [8]
+    assert _involved_counts("burst", 0) == [8]

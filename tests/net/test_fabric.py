@@ -1,0 +1,74 @@
+"""Tests for the two-server testbed wiring (fabric + ACK path)."""
+
+import pytest
+
+from repro.hw import CacheConfig, HostConfig
+from repro.io_arch import build_arch
+from repro.net import FabricConfig, Flow, FlowKind
+from repro.net import Testbed as TB
+from repro.sim.units import US
+
+
+def test_add_flow_requires_installed_arch():
+    bed = TB()
+    with pytest.raises(RuntimeError, match="install_io_arch"):
+        bed.add_flow(Flow(FlowKind.CPU_INVOLVED, message_payload=100))
+
+
+def test_install_wires_ack_and_handler():
+    bed = TB()
+    arch = build_arch("baseline", bed.host)
+    bed.install_io_arch(arch)
+    assert bed.host.nic.handler is arch
+    assert arch.ack is not None
+
+
+def test_ack_round_trip_delay():
+    bed = TB(host_config=HostConfig(cache=CacheConfig(size=256 * 1024)))
+    arch = build_arch("baseline", bed.host)
+    bed.install_io_arch(arch)
+    flow = Flow(FlowKind.CPU_INVOLVED, message_payload=500)
+    sender = bed.add_flow(flow)
+    done = sender.submit_message(flow.make_message())
+    bed.run(until=100 * US)
+    assert done.triggered
+    msg = done.value
+    # Completion takes at least the forward + reverse propagation.
+    assert (msg.complete_time - msg.submit_time
+            >= 2 * bed.fabric_config.one_way_delay)
+
+
+def test_ack_extra_mark_reaches_sender():
+    bed = TB(host_config=HostConfig(cache=CacheConfig(size=256 * 1024)))
+    arch = build_arch("baseline", bed.host)
+    bed.install_io_arch(arch)
+    flow = Flow(FlowKind.CPU_INVOLVED, message_payload=500)
+    sender = bed.add_flow(flow)
+    sender.submit_message(flow.make_message())
+    bed.run(until=5 * US)  # packet en route / accepted
+
+    marked = []
+    original = sender.on_ack
+    sender.on_ack = lambda seq, ecn: (marked.append(ecn),
+                                      original(seq, ecn))
+    # Re-ACK with a host-side mark (what HostCC/ShRing/CEIO guards do).
+    pkt = flow.make_message().packets(flow, 99)[0]
+    bed.ack(pkt, extra_mark=True)
+    bed.run(until=10 * US)
+    assert True in marked
+
+
+def test_ack_for_unknown_flow_is_ignored():
+    bed = TB()
+    arch = build_arch("baseline", bed.host)
+    bed.install_io_arch(arch)
+    ghost = Flow(FlowKind.CPU_INVOLVED, message_payload=100)
+    pkt = ghost.make_message().packets(ghost, 0)[0]
+    bed.ack(pkt)  # must not raise
+    bed.run(until=5 * US)
+
+
+def test_fabric_config_defaults():
+    cfg = FabricConfig()
+    assert cfg.rate == pytest.approx(25.0)
+    assert cfg.ecn_threshold < cfg.switch_buffer

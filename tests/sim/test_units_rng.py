@@ -1,0 +1,73 @@
+"""Tests for unit helpers and seeded RNG streams."""
+
+import pytest
+
+from repro.sim import RngRegistry
+from repro.sim.units import (
+    CACHE_LINE,
+    MS,
+    US,
+    gbps,
+    ghz_cycle_ns,
+    mpps,
+    ns_per_packet,
+    to_gbps,
+    to_mpps,
+)
+
+
+def test_gbps_round_trip():
+    assert to_gbps(gbps(200)) == pytest.approx(200)
+    assert gbps(200) == pytest.approx(25.0)  # 200 Gbps = 25 bytes/ns
+
+
+def test_mpps_round_trip():
+    assert to_mpps(mpps(14.88)) == pytest.approx(14.88)
+
+
+def test_ns_per_packet_matches_paper_example():
+    # §1: "a 200Gbps link transmitting 1024B packets, each I/O operation
+    # has to complete within only 41.8 nanoseconds".
+    assert ns_per_packet(200, 1045) == pytest.approx(41.8)
+
+
+def test_time_constants():
+    assert US == 1_000
+    assert MS == 1_000_000
+    assert CACHE_LINE == 64
+
+
+def test_cycle_time():
+    assert ghz_cycle_ns(2.0) == pytest.approx(0.5)
+    assert ghz_cycle_ns(3.2) == pytest.approx(0.3125)
+
+
+def test_rng_streams_deterministic():
+    a = RngRegistry(42).stream("nic")
+    b = RngRegistry(42).stream("nic")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_rng_streams_independent_by_name():
+    reg = RngRegistry(42)
+    xs = [reg.stream("one").random() for _ in range(5)]
+    ys = [reg.stream("two").random() for _ in range(5)]
+    assert xs != ys
+
+
+def test_rng_stream_cached():
+    reg = RngRegistry(0)
+    assert reg.stream("x") is reg.stream("x")
+
+
+def test_rng_spawn_independent():
+    parent = RngRegistry(7)
+    child = parent.spawn("worker")
+    assert child.root_seed != parent.root_seed
+    assert (child.stream("s").random()
+            != parent.stream("s").random())
+
+
+def test_rng_seed_changes_streams():
+    assert (RngRegistry(1).stream("s").random()
+            != RngRegistry(2).stream("s").random())
