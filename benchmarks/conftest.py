@@ -4,16 +4,40 @@ Every benchmark runs one reproduction experiment exactly once (pedantic
 mode — these are minutes-long simulations, not microbenchmarks), prints
 the paper-style table, and asserts the shape checks that define a
 successful reproduction.
+
+Set ``REPRO_BENCH_CACHE=1`` to route experiments through
+``repro.runner``'s content-addressed result cache (``.repro_cache/``):
+simulation points completed by a previous benchmark run — or by a
+``python -m repro.experiments`` sweep — are reused instead of recomputed.
+The cache key includes a fingerprint of the ``repro`` sources, so edits
+to the simulator invalidate stale entries automatically. (Benchmark
+*timings* then measure collection, not simulation — use the default
+uncached mode when the wall-clock numbers matter.)
 """
+
+import os
 
 import pytest
 
 from repro.experiments import run_experiment
+from repro.runner import RunnerOptions, run_experiment_cached
+
+
+def _use_cache() -> bool:
+    return os.environ.get("REPRO_BENCH_CACHE", "") not in ("", "0")
+
+
+def _run(exp_id: str, quick: bool = True):
+    if _use_cache():
+        return run_experiment_cached(
+            exp_id, quick=quick,
+            options=RunnerOptions(quiet=True, retries=0))
+    return run_experiment(exp_id, quick)
 
 
 def run_and_check(benchmark, exp_id: str, quick: bool = True):
     """Benchmark one experiment and assert its shape checks."""
-    result = benchmark.pedantic(run_experiment, args=(exp_id, quick),
+    result = benchmark.pedantic(_run, args=(exp_id, quick),
                                 rounds=1, iterations=1, warmup_rounds=0)
     print()
     print(result.render())
@@ -24,6 +48,6 @@ def run_and_check(benchmark, exp_id: str, quick: bool = True):
 
 @pytest.fixture
 def check(benchmark):
-    def _run(exp_id: str, quick: bool = True):
+    def _run_fixture(exp_id: str, quick: bool = True):
         return run_and_check(benchmark, exp_id, quick)
-    return _run
+    return _run_fixture

@@ -1,16 +1,22 @@
 """Experiment registry: one entry per paper figure/table.
 
-Each runner takes ``quick: bool`` (smaller sweeps for CI-speed runs) and
-returns an :class:`~repro.experiments.report.ExperimentResult` containing
-the figure's rows plus shape checks. Run from the command line::
+Each experiment is an :class:`ExperimentSpec`. Point-based experiments
+expose their sweep as ``points(quick, seed)`` (independent simulation
+points), ``run_point(params, seed)`` (the picklable worker), and
+``collect(results, quick, seed)`` (rows + shape checks) — the contract
+``repro.runner`` uses to execute sweeps across a process pool. Calling
+:func:`run_experiment` runs the same points serially, so results are
+bit-identical for any ``--jobs`` value. Run from the command line::
 
     python -m repro.experiments fig09
-    python -m repro.experiments all --full
+    python -m repro.experiments all --full --jobs 8
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+import functools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
 
 from . import (
     ablations,
@@ -26,30 +32,89 @@ from . import (
 )
 from .report import ExperimentResult, ShapeCheck, render_table
 
-__all__ = ["EXPERIMENTS", "run_experiment", "ExperimentResult",
-           "ShapeCheck", "render_table"]
-
-EXPERIMENTS: Dict[str, Callable[[bool], ExperimentResult]] = {
-    "fig04a": lambda quick=True: dynamic.run_fig04(quick, "a"),
-    "fig04b": lambda quick=True: dynamic.run_fig04(quick, "b"),
-    "fig09": fig09.run,
-    "fig10a": lambda quick=True: dynamic.run_fig10(quick, "a"),
-    "fig10b": lambda quick=True: dynamic.run_fig10(quick, "b"),
-    "fig11": fig11.run,
-    "fig12": fig12.run,
-    "table2": table2.run,
-    "table3": table3.run,
-    "table4": table4.run,
-    "limits": limits.run,
-    "ablations": ablations.run,
-    "lessons": lessons.run,
-}
+__all__ = ["EXPERIMENTS", "ExperimentSpec", "run_experiment",
+           "ExperimentResult", "ShapeCheck", "render_table"]
 
 
-def run_experiment(exp_id: str, quick: bool = True) -> ExperimentResult:
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Registry entry: how to run (and optionally how to sweep) one
+    figure/table."""
+
+    exp_id: str
+    description: str
+    #: ``run(quick, seed=None) -> ExperimentResult`` — serial execution.
+    run: Callable[..., ExperimentResult]
+    #: ``points(quick, seed=None) -> List[Point]`` (None = not sweepable;
+    #: the runner falls back to one whole-experiment point).
+    points: Optional[Callable] = None
+    #: ``collect(results, quick, seed=None) -> ExperimentResult``.
+    collect: Optional[Callable] = None
+
+    def __call__(self, quick: bool = True,
+                 seed: Optional[int] = None) -> ExperimentResult:
+        return self.run(quick, seed=seed)
+
+
+def _dynamic_spec(exp_id: str, variant_runner, variant: str,
+                  description: str) -> ExperimentSpec:
+    return ExperimentSpec(
+        exp_id=exp_id,
+        description=description,
+        run=functools.partial(variant_runner, variant=variant),
+        points=functools.partial(dynamic.points, exp_id),
+        collect=functools.partial(dynamic.collect, exp_id),
+    )
+
+
+def _module_spec(exp_id: str, module, description: str) -> ExperimentSpec:
+    return ExperimentSpec(exp_id=exp_id, description=description,
+                          run=module.run, points=module.points,
+                          collect=module.collect)
+
+
+_SPECS: List[ExperimentSpec] = [
+    _dynamic_spec("fig04a", dynamic.run_fig04, "a",
+                  "Motivation: HostCC/ShRing degrade when the flow mix "
+                  "changes (dynamic flow distribution)"),
+    _dynamic_spec("fig04b", dynamic.run_fig04, "b",
+                  "Motivation: HostCC/ShRing degrade under network bursts"),
+    _module_spec("fig09", fig09,
+                 "Throughput & LLC miss rate vs packet size, static load"),
+    _dynamic_spec("fig10a", dynamic.run_fig10, "a",
+                  "End-to-end dynamic flow distribution, CEIO included"),
+    _dynamic_spec("fig10b", dynamic.run_fig10, "b",
+                  "End-to-end network burst, CEIO included"),
+    _module_spec("fig11", fig11,
+                 "CEIO fast/slow path bandwidth vs raw ib_write_bw"),
+    _module_spec("fig12", fig12,
+                 "Aggregate throughput under UD flow churn (512B echo)"),
+    _module_spec("table2", table2,
+                 "P99/P99.9 latency under the 512B echo workload"),
+    _module_spec("table3", table3,
+                 "Fast/slow path latency vs raw RDMA write (ib_write_lat)"),
+    _module_spec("table4", table4,
+                 "Mixed involved/bypass flows with CEIO ablations"),
+    ExperimentSpec("limits",
+                   "Scenarios with limited benefit: low pressure & jumbo",
+                   run=limits.run),
+    _module_spec("ablations", ablations,
+                 "Design-choice ablations (credit release, exclusivity, "
+                 "cache model)"),
+    ExperimentSpec("lessons",
+                   "§6.4 lessons: zero-copy necessity & transport "
+                   "agnosticism",
+                   run=lessons.run),
+]
+
+EXPERIMENTS: Dict[str, ExperimentSpec] = {s.exp_id: s for s in _SPECS}
+
+
+def run_experiment(exp_id: str, quick: bool = True,
+                   seed: Optional[int] = None) -> ExperimentResult:
     try:
-        runner = EXPERIMENTS[exp_id]
+        spec = EXPERIMENTS[exp_id]
     except KeyError:
         raise ValueError(f"unknown experiment {exp_id!r}; "
                          f"choose from {sorted(EXPERIMENTS)}") from None
-    return runner(quick)
+    return spec.run(quick, seed=seed)

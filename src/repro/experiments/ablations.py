@@ -9,31 +9,88 @@ Not a paper figure — these benches justify individual CEIO mechanisms:
   packets;
 - **cache model fidelity**: the fast fully-associative LLC model and the
   detailed set-associative model agree on the headline numbers.
+
+Sweep decomposition: one point per ablated configuration. The
+"priority-scheme ceio-lazy" row reuses the lazy credit-release point —
+same configuration, same seed, so (by determinism) the same simulation.
 """
 
 from __future__ import annotations
 
+from typing import Any, Dict, List, Mapping, Optional
+
 from ..core import CeioConfig
+from ..runner.sweep import Point, make_point, run_points_serial
 from ..sim.units import US
 from ..workloads import Scenario, ScenarioConfig
 from .report import ExperimentResult
 
-__all__ = ["run"]
+__all__ = ["run", "points", "run_point", "collect"]
+
+MIXED_SEED = 29
+EXCLUSIVITY_SEED = 31
+_FN = "repro.experiments.ablations:run_point"
 
 
-def _mixed(quick: bool, ceio: CeioConfig, seed: int = 29):
-    config = ScenarioConfig(
+def _mixed_config(quick: bool, ceio: CeioConfig, seed: int) -> ScenarioConfig:
+    return ScenarioConfig(
         arch="ceio", n_involved=4, n_bypass=4, payload=144,
         bypass_payload=1024, chunk_packets=32,
         warmup=(400 * US if quick else 800 * US),
         duration=(500 * US if quick else 1000 * US),
         seed=seed, ceio=ceio)
-    scenario = Scenario(config).build()
-    measurement = scenario.run_measure()
-    return scenario, measurement
 
 
-def _static(quick: bool, set_associative: bool, seed: int = 29):
+def points(quick: bool = True, seed: Optional[int] = None) -> List[Point]:
+    def mixed(lazy: bool, exclusive: bool, default_seed: int,
+              label: str) -> Point:
+        params = {"kind": "mixed", "lazy_release": lazy,
+                  "phase_exclusivity": exclusive, "quick": quick}
+        return make_point("ablations", _FN, params, seed, default_seed,
+                          label=label)
+
+    pts = [
+        mixed(True, True, MIXED_SEED, "mixed.lazy"),
+        mixed(False, True, MIXED_SEED, "mixed.eager"),
+        mixed(True, True, EXCLUSIVITY_SEED, "mixed.exclusive"),
+        mixed(True, False, EXCLUSIVITY_SEED, "mixed.interleaved"),
+        make_point("ablations", _FN, {"kind": "mpq", "quick": quick},
+                   seed, MIXED_SEED, label="mpq"),
+        make_point("ablations", _FN,
+                   {"kind": "static", "set_associative": False,
+                    "quick": quick},
+                   seed, MIXED_SEED, label="static.fully-assoc"),
+        make_point("ablations", _FN,
+                   {"kind": "static", "set_associative": True,
+                    "quick": quick},
+                   seed, MIXED_SEED, label="static.set-assoc"),
+    ]
+    return pts
+
+
+def run_point(params: Mapping[str, Any], seed: int) -> Dict[str, float]:
+    quick = params["quick"]
+    if params["kind"] == "mixed":
+        ceio = CeioConfig(lazy_release=params["lazy_release"],
+                          phase_exclusivity=params["phase_exclusivity"])
+        scenario = Scenario(_mixed_config(quick, ceio, seed)).build()
+        m = scenario.run_measure()
+        ooo = sum(st.swring.out_of_order
+                  for st in scenario.arch.states.values())
+        return {"mpps": m.involved_mpps,
+                "fast_fraction": m.extras.get("fast_fraction", 0.0),
+                "ooo": ooo}
+    if params["kind"] == "mpq":
+        config = ScenarioConfig(
+            arch="mpq", n_involved=4, n_bypass=4, payload=144,
+            bypass_payload=1024, chunk_packets=32,
+            warmup=(400 * US if quick else 800 * US),
+            duration=(500 * US if quick else 1000 * US), seed=seed)
+        scenario = Scenario(config).build()
+        m = scenario.run_measure()
+        return {"mpps": m.involved_mpps,
+                "high_fraction": scenario.arch.high_fraction(),
+                "demotions": scenario.arch.demotions.value}
     # Full-buffer payloads: with 2 KB-aligned buffers nearly filled, both
     # cache models see the same occupancy. (At small payloads they
     # legitimately diverge — the set-associative model captures the
@@ -41,13 +98,15 @@ def _static(quick: bool, set_associative: bool, seed: int = 29):
     # fully-associative model cannot; see the result note.)
     config = ScenarioConfig(
         arch="ceio", n_involved=8, payload=1900,
-        set_associative_cache=set_associative,
+        set_associative_cache=params["set_associative"],
         warmup=(300 * US if quick else 600 * US),
         duration=(400 * US if quick else 800 * US), seed=seed)
-    return Scenario(config).build().run_measure()
+    m = Scenario(config).build().run_measure()
+    return {"mpps": m.involved_mpps}
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def collect(results: Mapping[str, Any], quick: bool = True,
+            seed: Optional[int] = None) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="ablations",
         title="Design-choice ablations (lazy release, phase exclusivity, "
@@ -60,79 +119,66 @@ def run(quick: bool = True) -> ExperimentResult:
                       "fast_fraction", "out_of_order"]
 
     # 1. Lazy vs eager credit release in a mixed workload.
-    variants = {}
-    for name, lazy in (("lazy", True), ("eager", False)):
-        scenario, m = _mixed(quick, CeioConfig(lazy_release=lazy))
-        variants[name] = (scenario, m)
-        result.rows.append(["credit-release", name, m.involved_mpps,
-                            m.extras.get("fast_fraction", 0.0), 0])
-    lazy_ff = variants["lazy"][1].extras.get("fast_fraction", 0.0)
-    eager_ff = variants["eager"][1].extras.get("fast_fraction", 0.0)
+    lazy = results["ablations/mixed.lazy"]
+    eager = results["ablations/mixed.eager"]
+    for name, m in (("lazy", lazy), ("eager", eager)):
+        result.rows.append(["credit-release", name, m["mpps"],
+                            m["fast_fraction"], 0])
     result.check(
         "lazy release sustains involved throughput at least as well",
-        variants["lazy"][1].involved_mpps
-        >= 0.95 * variants["eager"][1].involved_mpps,
-        f"lazy {variants['lazy'][1].involved_mpps:.1f} vs "
-        f"eager {variants['eager'][1].involved_mpps:.1f} Mpps")
+        lazy["mpps"] >= 0.95 * eager["mpps"],
+        f"lazy {lazy['mpps']:.1f} vs eager {eager['mpps']:.1f} Mpps")
     result.notes.append(
-        f"fast fraction lazy={lazy_ff:.2f} eager={eager_ff:.2f}")
+        f"fast fraction lazy={lazy['fast_fraction']:.2f} "
+        f"eager={eager['fast_fraction']:.2f}")
 
     # 2. Phase exclusivity and SW-ring ordering.
-    for name, exclusive in (("exclusive", True), ("interleaved", False)):
-        scenario, m = _mixed(quick, CeioConfig(phase_exclusivity=exclusive),
-                             seed=31)
-        ooo = sum(st.swring.out_of_order
-                  for st in scenario.arch.states.values())
-        result.rows.append(["phase-exclusivity", name, m.involved_mpps,
-                            m.extras.get("fast_fraction", 0.0), ooo])
-        if exclusive:
+    for name, key in (("exclusive", "ablations/mixed.exclusive"),
+                      ("interleaved", "ablations/mixed.interleaved")):
+        m = results[key]
+        result.rows.append(["phase-exclusivity", name, m["mpps"],
+                            m["fast_fraction"], m["ooo"]])
+        if name == "exclusive":
             result.check("phase exclusivity: zero out-of-order deliveries",
-                         ooo == 0, f"{ooo} reordered")
+                         m["ooo"] == 0, f"{m['ooo']} reordered")
         else:
             result.check("without exclusivity reordering is observed",
-                         ooo > 0, f"{ooo} reordered")
+                         m["ooo"] > 0, f"{m['ooo']} reordered")
 
     # 3. MPQ (the §4.1 rejected alternative) vs CEIO's lazy-release design.
     # Continuous RPC streams are *not short flows*: PIAS-style priority
     # decay demotes them off the fast path just like bulk transfers.
-    mpq_cfg = ScenarioConfig(
-        arch="mpq", n_involved=4, n_bypass=4, payload=144,
-        bypass_payload=1024, chunk_packets=32,
-        warmup=(400 * US if quick else 800 * US),
-        duration=(500 * US if quick else 1000 * US), seed=29)
-    mpq_scenario = Scenario(mpq_cfg).build()
-    mpq = mpq_scenario.run_measure()
-    ceio_scenario, ceio_m = _mixed(quick, CeioConfig())
-    result.rows.append(["priority-scheme", "mpq", mpq.involved_mpps,
-                        mpq_scenario.arch.high_fraction(), 0])
-    result.rows.append(["priority-scheme", "ceio-lazy",
-                        ceio_m.involved_mpps,
-                        ceio_m.extras.get("fast_fraction", 0.0), 0])
+    mpq = results["ablations/mpq"]
+    result.rows.append(["priority-scheme", "mpq", mpq["mpps"],
+                        mpq["high_fraction"], 0])
+    result.rows.append(["priority-scheme", "ceio-lazy", lazy["mpps"],
+                        lazy["fast_fraction"], 0])
     result.check(
         "PIAS-style MPQ demotes continuous RPC flows (demotions observed)",
-        mpq_scenario.arch.demotions.value > 0,
-        f"{mpq_scenario.arch.demotions.value:.0f} demotions")
+        mpq["demotions"] > 0,
+        f"{mpq['demotions']:.0f} demotions")
     result.check(
         "CEIO's lazy release beats the rejected MPQ design on RPC "
         "throughput",
-        ceio_m.involved_mpps >= mpq.involved_mpps,
-        f"ceio {ceio_m.involved_mpps:.1f} vs mpq {mpq.involved_mpps:.1f}")
+        lazy["mpps"] >= mpq["mpps"],
+        f"ceio {lazy['mpps']:.1f} vs mpq {mpq['mpps']:.1f}")
 
     # 4. Cache-model fidelity.
-    fast_model = _static(quick, set_associative=False)
-    detailed = _static(quick, set_associative=True)
-    result.rows.append(["cache-model", "fully-assoc",
-                        fast_model.involved_mpps, 0, 0])
-    result.rows.append(["cache-model", "set-assoc",
-                        detailed.involved_mpps, 0, 0])
+    fa = results["ablations/static.fully-assoc"]
+    sa = results["ablations/static.set-assoc"]
+    result.rows.append(["cache-model", "fully-assoc", fa["mpps"], 0, 0])
+    result.rows.append(["cache-model", "set-assoc", sa["mpps"], 0, 0])
     result.check(
         "cache models agree on CEIO throughput (within 20%, full buffers)",
-        abs(fast_model.involved_mpps - detailed.involved_mpps)
-        <= 0.20 * max(fast_model.involved_mpps, 1e-9),
-        f"{fast_model.involved_mpps:.1f} vs {detailed.involved_mpps:.1f}")
+        abs(fa["mpps"] - sa["mpps"]) <= 0.20 * max(fa["mpps"], 1e-9),
+        f"{fa['mpps']:.1f} vs {sa['mpps']:.1f}")
     result.notes.append(
         "at small payloads the models diverge by design: the "
         "set-associative model charges whole 2KB-aligned buffer strides "
         "(real DDIO alignment waste), the fully-associative model charges "
         "bytes")
     return result
+
+
+def run(quick: bool = True, seed: Optional[int] = None) -> ExperimentResult:
+    return collect(run_points_serial(points(quick, seed)), quick, seed)

@@ -13,13 +13,20 @@ transients are fully exercised):
   phase replaces two of them with CPU-bypass LineFS flows;
 - *network burst*: start with 8 CPU-involved flows; each phase adds two
   burst CPU-involved flows on two extra cores.
+
+Sweep decomposition: one point per architecture *trajectory* (the phases
+of one arch are a causal sequence and cannot be split) plus one shared
+"expected performance" calibration point. Because points are identified
+structurally, Fig. 4a's HostCC/ShRing trajectories are literally the same
+points as Fig. 10a's — the runner executes them once for both figures.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Any, Dict, List, Mapping, Optional
 
 from ..hw import CacheConfig, HostConfig
+from ..runner.sweep import Point, make_point, run_points_serial
 from ..sim.units import MIB, US
 from ..workloads import (
     Scenario,
@@ -29,10 +36,22 @@ from ..workloads import (
 )
 from .report import ExperimentResult
 
-__all__ = ["expected_per_core_mpps", "run_dynamic", "run_fig04", "run_fig10"]
+__all__ = ["expected_per_core_mpps", "run_dynamic", "run_fig04", "run_fig10",
+           "points", "run_point", "collect"]
+
+DEFAULT_SEED = 11
+EXPECTED_SEED = 3
+_FN = "repro.experiments.dynamic:run_point"
+
+_ARCHS = {
+    "fig04a": ["hostcc", "shring"],
+    "fig04b": ["hostcc", "shring"],
+    "fig10a": ["baseline", "hostcc", "shring", "ceio"],
+    "fig10b": ["baseline", "hostcc", "shring", "ceio"],
+}
 
 
-def expected_per_core_mpps(payload: int, seed: int = 3) -> float:
+def expected_per_core_mpps(payload: int, seed: int = EXPECTED_SEED) -> float:
     """The paper's expected-performance reference: single-core ShRing
     throughput with *sufficient LLC* (we grant an over-sized LLC so no
     misses can occur)."""
@@ -45,7 +64,7 @@ def expected_per_core_mpps(payload: int, seed: int = 3) -> float:
 
 
 def run_dynamic(archs: List[str], scenario_kind: str, phases: int,
-                quick: bool, seed: int = 11):
+                quick: bool, seed: int = DEFAULT_SEED):
     """Run one dynamic scenario for several architectures.
 
     Returns {arch: [per-phase involved Mpps]}, {arch: [per-phase miss]}.
@@ -72,7 +91,34 @@ def _involved_counts(scenario_kind: str, phases: int) -> List[int]:
     return [8 + 2 * i for i in range(phases + 1)]
 
 
-def _run(exp_id: str, archs: List[str], quick: bool) -> ExperimentResult:
+# ----------------------------------------------------------------------
+# Sweep interface
+# ----------------------------------------------------------------------
+def points(exp_id: str, quick: bool = True,
+           seed: Optional[int] = None) -> List[Point]:
+    scenario_kind = "dynamic" if exp_id.endswith("a") else "burst"
+    phases = 2 if quick else 3
+    pts = [make_point(exp_id, _FN,
+                      {"kind": "expected", "payload": 144},
+                      seed, EXPECTED_SEED, label="expected.144")]
+    for arch in _ARCHS[exp_id]:
+        params = {"kind": scenario_kind, "arch": arch, "phases": phases,
+                  "quick": quick}
+        pts.append(make_point(exp_id, _FN, params, seed, DEFAULT_SEED,
+                              label=f"{scenario_kind}.{arch}.p{phases}"))
+    return pts
+
+
+def run_point(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    if params["kind"] == "expected":
+        return {"per_core": expected_per_core_mpps(params["payload"], seed)}
+    mpps, miss = run_dynamic([params["arch"]], params["kind"],
+                             params["phases"], params["quick"], seed)
+    return {"mpps": mpps[params["arch"]], "miss": miss[params["arch"]]}
+
+
+def collect(exp_id: str, results: Mapping[str, Any], quick: bool = True,
+            seed: Optional[int] = None) -> ExperimentResult:
     titles = {
         "fig04a": "Motivation: degradation under dynamic flow distribution",
         "fig04b": "Motivation: degradation under network burst",
@@ -88,11 +134,17 @@ def _run(exp_id: str, archs: List[str], quick: bool) -> ExperimentResult:
     }
     result = ExperimentResult(exp_id=exp_id, title=titles[exp_id],
                               paper_claim=claims[exp_id])
+    archs = _ARCHS[exp_id]
     scenario_kind = "dynamic" if exp_id.endswith("a") else "burst"
     phases = 2 if quick else 3
-    per_core = expected_per_core_mpps(144)
+    per_core = results[f"{exp_id}/expected.144"]["per_core"]
     counts = _involved_counts(scenario_kind, phases)
-    mpps, miss = run_dynamic(archs, scenario_kind, phases, quick)
+    mpps = {}
+    miss = {}
+    for arch in archs:
+        value = results[f"{exp_id}/{scenario_kind}.{arch}.p{phases}"]
+        mpps[arch] = value["mpps"]
+        miss[arch] = value["miss"]
 
     result.headers = (["phase", "n_involved", "expected_mpps"]
                       + [f"{a}_mpps" for a in archs]
@@ -126,10 +178,16 @@ def _run(exp_id: str, archs: List[str], quick: bool) -> ExperimentResult:
     return result
 
 
-def run_fig04(quick: bool = True, variant: str = "a") -> ExperimentResult:
-    return _run(f"fig04{variant}", ["hostcc", "shring"], quick)
+def _run(exp_id: str, quick: bool, seed: Optional[int]) -> ExperimentResult:
+    return collect(exp_id, run_points_serial(points(exp_id, quick, seed)),
+                   quick, seed)
 
 
-def run_fig10(quick: bool = True, variant: str = "a") -> ExperimentResult:
-    return _run(f"fig10{variant}", ["baseline", "hostcc", "shring", "ceio"],
-                quick)
+def run_fig04(quick: bool = True, variant: str = "a",
+              seed: Optional[int] = None) -> ExperimentResult:
+    return _run(f"fig04{variant}", quick, seed)
+
+
+def run_fig10(quick: bool = True, variant: str = "a",
+              seed: Optional[int] = None) -> ExperimentResult:
+    return _run(f"fig10{variant}", quick, seed)

@@ -8,53 +8,74 @@ Paper's observations reproduced as shape checks:
 - proactive CEIO beats reactive HostCC (up to 1.5x);
 - ShRing's miss rate is comparable to CEIO's but its throughput is lower;
 - gains shrink as packets grow (large packets amortise per-packet cost).
+
+The sweep is exposed as independent :class:`~repro.runner.sweep.Point`\\ s
+(``points()`` / ``run_point()`` / ``collect()``) so ``repro.runner`` can
+execute it across a worker pool; ``run()`` is the serial composition of
+the three and produces bit-identical results for any ``--jobs`` value.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
+from ..runner.sweep import Point, make_point, run_points_serial
 from ..sim.units import US
 from ..workloads import Scenario, ScenarioConfig
 from .report import ExperimentResult
 
-__all__ = ["run"]
+__all__ = ["run", "points", "run_point", "collect"]
 
 ARCHS = ["baseline", "hostcc", "shring", "ceio"]
 SIZES_QUICK = [144, 512, 1024]
 SIZES_FULL = [128, 256, 512, 1024]
+PANELS = [("erpc-dpdk", "dpdk", False),
+          ("erpc-rdma", "rdma", False),
+          ("linefs", "rdma", True)]
+DEFAULT_SEED = 7
+_FN = "repro.experiments.fig09:run_point"
 
 
-def _panel(result: ExperimentResult, panel: str, transport: str,
-           bypass: bool, sizes: List[int], warmup: float, duration: float,
-           seed: int) -> Dict[str, Dict[int, float]]:
-    mpps: Dict[str, Dict[int, float]] = {}
-    miss: Dict[str, Dict[int, float]] = {}
-    for arch in ARCHS:
-        mpps[arch] = {}
-        miss[arch] = {}
-        for size in sizes:
-            if bypass:
-                config = ScenarioConfig(
-                    arch=arch, n_involved=0, n_bypass=8,
-                    bypass_payload=size, chunk_packets=32,
-                    transport="rdma", warmup=warmup, duration=duration,
-                    seed=seed)
-            else:
-                config = ScenarioConfig(
-                    arch=arch, n_involved=8, payload=size,
-                    transport=transport, warmup=warmup, duration=duration,
-                    seed=seed)
-            m = Scenario(config).build().run_measure()
-            rate = m.bypass_mpps if bypass else m.involved_mpps
-            mpps[arch][size] = rate
-            miss[arch][size] = m.llc_miss_rate
-            result.rows.append([panel, arch, size, rate,
-                                m.llc_miss_rate * 100.0])
-    return mpps, miss
+def _panels(quick: bool) -> List[Tuple[str, str, bool]]:
+    return PANELS[:1] + PANELS[2:] if quick else PANELS  # dpdk + linefs
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def points(quick: bool = True, seed: Optional[int] = None) -> List[Point]:
+    sizes = SIZES_QUICK if quick else SIZES_FULL
+    pts = []
+    for panel, transport, bypass in _panels(quick):
+        for arch in ARCHS:
+            for size in sizes:
+                params = {"panel": panel, "transport": transport,
+                          "bypass": bypass, "arch": arch, "size": size,
+                          "quick": quick}
+                pts.append(make_point(
+                    "fig09", _FN, params, seed, DEFAULT_SEED,
+                    label=f"{panel}.{arch}.{size}"))
+    return pts
+
+
+def run_point(params: Mapping[str, Any], seed: int) -> Dict[str, float]:
+    quick = params["quick"]
+    warmup = 400 * US if quick else 800 * US
+    duration = (500 * US) if quick else (1000 * US)
+    if params["bypass"]:
+        config = ScenarioConfig(
+            arch=params["arch"], n_involved=0, n_bypass=8,
+            bypass_payload=params["size"], chunk_packets=32,
+            transport="rdma", warmup=warmup, duration=duration, seed=seed)
+    else:
+        config = ScenarioConfig(
+            arch=params["arch"], n_involved=8, payload=params["size"],
+            transport=params["transport"], warmup=warmup,
+            duration=duration, seed=seed)
+    m = Scenario(config).build().run_measure()
+    rate = m.bypass_mpps if params["bypass"] else m.involved_mpps
+    return {"mpps": rate, "miss": m.llc_miss_rate}
+
+
+def collect(results: Mapping[str, Any], quick: bool = True,
+            seed: Optional[int] = None) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="fig09",
         title="Throughput & LLC miss rate vs packet size (static)",
@@ -64,18 +85,22 @@ def run(quick: bool = True) -> ExperimentResult:
     )
     result.headers = ["panel", "arch", "payload_B", "mpps", "miss_%"]
     sizes = SIZES_QUICK if quick else SIZES_FULL
-    warmup = 400 * US if quick else 800 * US
-    duration = (500 * US) if quick else (1000 * US)
 
-    panels = [("erpc-dpdk", "dpdk", False),
-              ("erpc-rdma", "rdma", False),
-              ("linefs", "rdma", True)]
-    if quick:
-        panels = panels[:1] + panels[2:]  # dpdk + linefs panels
+    def cell(panel: str, arch: str, size: int) -> Dict[str, float]:
+        return results[f"fig09/{panel}.{arch}.{size}"]
 
-    for panel, transport, bypass in panels:
-        mpps, miss = _panel(result, panel, transport, bypass, sizes,
-                            warmup, duration, seed=7)
+    for panel, _transport, bypass in _panels(quick):
+        mpps: Dict[str, Dict[int, float]] = {}
+        miss: Dict[str, Dict[int, float]] = {}
+        for arch in ARCHS:
+            mpps[arch] = {}
+            miss[arch] = {}
+            for size in sizes:
+                value = cell(panel, arch, size)
+                mpps[arch][size] = value["mpps"]
+                miss[arch][size] = value["miss"]
+                result.rows.append([panel, arch, size, value["mpps"],
+                                    value["miss"] * 100.0])
         small = sizes[0]
         if not bypass:
             result.check_order(
@@ -112,3 +137,7 @@ def run(quick: bool = True) -> ExperimentResult:
                 miss["ceio"][sizes[-1]] < 0.15,
                 f"{miss['ceio'][sizes[-1]]*100:.1f}%")
     return result
+
+
+def run(quick: bool = True, seed: Optional[int] = None) -> ExperimentResult:
+    return collect(run_points_serial(points(quick, seed)), quick, seed)

@@ -4,21 +4,53 @@ Single-flow RDMA-write bandwidth over message size; the slow path is
 forced by zeroing the flow's credits. Paper: the fast path matches raw
 perftest (flow-control overhead negligible) and the slow path approaches
 the fast path once messages exceed 4 KB (gap < 22%).
+
+Sweep decomposition: one point per (mode, message size) — ``raw`` is the
+baseline architecture, ``fast``/``slow`` are CEIO with and without
+credits.
 """
 
 from __future__ import annotations
 
+from typing import Any, Dict, List, Mapping, Optional
+
 from ..apps import ib_write_bw
+from ..runner.sweep import Point, make_point, run_points_serial
 from ..sim.units import MS
 from .report import ExperimentResult
 
-__all__ = ["run"]
+__all__ = ["run", "points", "run_point", "collect"]
 
 SIZES_QUICK = [512, 4096, 65536]
 SIZES_FULL = [64, 512, 1024, 4096, 16384, 65536]
+MODES = ["raw", "fast", "slow"]
+#: perftest's own default seed (``ib_write_bw(seed=0)``) — kept so the
+#: default sweep is bit-identical to the pre-runner figure.
+DEFAULT_SEED = 0
+_FN = "repro.experiments.fig11:run_point"
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def points(quick: bool = True, seed: Optional[int] = None) -> List[Point]:
+    sizes = SIZES_QUICK if quick else SIZES_FULL
+    pts = []
+    for size in sizes:
+        for mode in MODES:
+            params = {"mode": mode, "size": size, "quick": quick}
+            pts.append(make_point("fig11", _FN, params, seed, DEFAULT_SEED,
+                                  label=f"{mode}.{size}"))
+    return pts
+
+
+def run_point(params: Mapping[str, Any], seed: int) -> Dict[str, float]:
+    duration = 0.3 * MS if params["quick"] else 0.8 * MS
+    arch = "baseline" if params["mode"] == "raw" else "ceio"
+    bw = ib_write_bw(arch, params["size"], duration=duration,
+                     force_slow=params["mode"] == "slow", seed=seed)
+    return {"gbps": bw.gbps}
+
+
+def collect(results: Mapping[str, Any], quick: bool = True,
+            seed: Optional[int] = None) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="fig11",
         title="Fast path vs slow path vs ib_write_bw",
@@ -28,15 +60,10 @@ def run(quick: bool = True) -> ExperimentResult:
     result.headers = ["msg_B", "raw_gbps", "fast_gbps", "slow_gbps",
                       "slow_gap_%"]
     sizes = SIZES_QUICK if quick else SIZES_FULL
-    duration = 0.3 * MS if quick else 0.8 * MS
-    raw = {}
-    fast = {}
-    slow = {}
+    raw = {s: results[f"fig11/raw.{s}"]["gbps"] for s in sizes}
+    fast = {s: results[f"fig11/fast.{s}"]["gbps"] for s in sizes}
+    slow = {s: results[f"fig11/slow.{s}"]["gbps"] for s in sizes}
     for size in sizes:
-        raw[size] = ib_write_bw("baseline", size, duration=duration).gbps
-        fast[size] = ib_write_bw("ceio", size, duration=duration).gbps
-        slow[size] = ib_write_bw("ceio", size, duration=duration,
-                                 force_slow=True).gbps
         gap = 100 * (1 - slow[size] / max(1e-9, fast[size]))
         result.rows.append([size, raw[size], fast[size], slow[size], gap])
 
@@ -58,3 +85,7 @@ def run(quick: bool = True) -> ExperimentResult:
         <= min(slow[s] / max(1e-9, fast[s]) for s in big) + 1e-9,
     )
     return result
+
+
+def run(quick: bool = True, seed: Optional[int] = None) -> ExperimentResult:
+    return collect(run_points_serial(points(quick, seed)), quick, seed)

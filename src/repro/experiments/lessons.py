@@ -16,6 +16,8 @@ Three lessons with measurable content:
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..apps.erpc import ErpcConfig, ErpcServer
 from ..net import Flow, FlowKind, SaturatingSource, Testbed
 from ..io_arch import build_arch
@@ -26,9 +28,12 @@ from .report import ExperimentResult
 __all__ = ["run"]
 
 
-def _rpc_throughput(zero_copy: bool, quick: bool) -> float:
+DEFAULT_SEED = 37
+
+
+def _rpc_throughput(zero_copy: bool, quick: bool, seed: int) -> float:
     """Single CEIO server, 8 flows, with/without the zero-copy path."""
-    bed = Testbed(host_config=scaled_host_config(4), seed=37)
+    bed = Testbed(host_config=scaled_host_config(4), seed=seed)
     arch = build_arch("ceio", bed.host)
     bed.install_io_arch(arch)
     servers = []
@@ -50,7 +55,9 @@ def _rpc_throughput(zero_copy: bool, quick: bool) -> float:
     return total / horizon * 1e3  # Mpps
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(quick: bool = True,
+        seed: Optional[int] = None) -> ExperimentResult:
+    root_seed = DEFAULT_SEED if seed is None else seed
     result = ExperimentResult(
         exp_id="lessons",
         title="§6.4 lessons: zero-copy necessity & transport agnosticism",
@@ -60,8 +67,9 @@ def run(quick: bool = True) -> ExperimentResult:
     )
     result.headers = ["lesson", "variant", "mpps"]
 
-    zc = _rpc_throughput(zero_copy=True, quick=quick)
-    copying = _rpc_throughput(zero_copy=False, quick=quick)
+    zc = _rpc_throughput(zero_copy=True, quick=quick, seed=root_seed)
+    copying = _rpc_throughput(zero_copy=False, quick=quick,
+                              seed=root_seed)
     result.rows.append(["zero-copy", "zero-copy", zc])
     result.rows.append(["zero-copy", "copying", copying])
     result.check(
@@ -77,7 +85,7 @@ def run(quick: bool = True) -> ExperimentResult:
             config = ScenarioConfig(
                 arch=arch, n_involved=8, payload=144, transport=transport,
                 warmup=(300 * US if quick else 600 * US),
-                duration=(400 * US if quick else 800 * US), seed=37)
+                duration=(400 * US if quick else 800 * US), seed=root_seed)
             rates[arch] = Scenario(config).build().run_measure().involved_mpps
         gains[transport] = rates["ceio"] / max(1e-9, rates["baseline"])
         result.rows.append([f"transport-{transport}", "baseline",

@@ -12,6 +12,8 @@ must also show):
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..sim.units import US
 from ..workloads import Scenario, ScenarioConfig
 from .report import ExperimentResult
@@ -19,31 +21,36 @@ from .report import ExperimentResult
 __all__ = ["run"]
 
 
-def _low_pressure(arch: str, quick: bool) -> tuple:
+DEFAULT_SEED = 23
+
+
+def _low_pressure(arch: str, quick: bool, seed: int) -> tuple:
     """64B VxLAN-decap-style workload: the total descriptor footprint
     (2 flows x 4096 buffers x ~106 B frames) fits inside the DDIO
     partition, so the LLC cannot be the bottleneck for anyone."""
     config = ScenarioConfig(
         arch=arch, n_involved=2, payload=64, outstanding=24,
         warmup=(300 * US if quick else 600 * US),
-        duration=(400 * US if quick else 800 * US), seed=23)
+        duration=(400 * US if quick else 800 * US), seed=seed)
     m = Scenario(config).build().run_measure()
     return m.involved_mpps, m.llc_miss_rate
 
 
-def _jumbo(arch: str, quick: bool) -> tuple:
+def _jumbo(arch: str, quick: bool, seed: int) -> tuple:
     """9000B jumbo echo: 16 KB I/O buffers, line rate despite misses."""
     config = ScenarioConfig(
         arch=arch, n_involved=8, payload=9000, io_buf_size=16 * 1024,
         outstanding=32,
         warmup=(300 * US if quick else 600 * US),
-        duration=(400 * US if quick else 800 * US), seed=23)
+        duration=(400 * US if quick else 800 * US), seed=seed)
     m = Scenario(config).build().run_measure()
     gbps = m.involved_mpps * 9000 * 8 / 1000.0
     return m.involved_mpps, gbps, m.llc_miss_rate
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(quick: bool = True,
+        seed: Optional[int] = None) -> ExperimentResult:
+    root_seed = DEFAULT_SEED if seed is None else seed
     result = ExperimentResult(
         exp_id="limits",
         title="Scenarios with limited benefit: low pressure & jumbo frames",
@@ -55,7 +62,7 @@ def run(quick: bool = True) -> ExperimentResult:
 
     lp = {}
     for arch in ("baseline", "ceio"):
-        mpps, miss = _low_pressure(arch, quick)
+        mpps, miss = _low_pressure(arch, quick, root_seed)
         lp[arch] = (mpps, miss)
         result.rows.append(["64B-low-pressure", arch, mpps,
                             mpps * 64 * 8 / 1000.0, miss * 100])
@@ -71,7 +78,7 @@ def run(quick: bool = True) -> ExperimentResult:
 
     jb = {}
     for arch in ("baseline", "ceio"):
-        mpps, gbps, miss = _jumbo(arch, quick)
+        mpps, gbps, miss = _jumbo(arch, quick, root_seed)
         jb[arch] = (mpps, gbps, miss)
         result.rows.append(["9000B-jumbo", arch, mpps, gbps, miss * 100])
     result.check(

@@ -4,19 +4,29 @@ Four architectures x three data paths (eRPC-DPDK, eRPC-RDMA, LineFS).
 Paper: CEIO cuts P99.9 by 2.39-4.73x vs the baseline and beats HostCC and
 ShRing on the tail; ShRing has a good median but loss-recovery episodes in
 its tail; the baseline's tail is dominated by LLC-thrash queueing.
+
+Sweep decomposition: one point per (datapath, architecture).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
+from ..runner.sweep import Point, make_point, run_points_serial
 from ..sim.units import US
 from ..workloads import Scenario, ScenarioConfig
 from .report import ExperimentResult
 
-__all__ = ["run"]
+__all__ = ["run", "points", "run_point", "collect"]
 
 ARCHS = ["baseline", "hostcc", "shring", "ceio"]
+DEFAULT_SEED = 13
+_FN = "repro.experiments.table2:run_point"
+
+
+def _datapaths(quick: bool) -> List[str]:
+    return (["erpc-dpdk", "linefs"] if quick
+            else ["erpc-dpdk", "erpc-rdma", "linefs"])
 
 
 def _datapath_config(datapath: str, arch: str, quick: bool,
@@ -44,7 +54,26 @@ def _datapath_config(datapath: str, arch: str, quick: bool,
                           app_extra_cycles=400.0)
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def points(quick: bool = True, seed: Optional[int] = None) -> List[Point]:
+    pts = []
+    for datapath in _datapaths(quick):
+        for arch in ARCHS:
+            params = {"datapath": datapath, "arch": arch, "quick": quick}
+            pts.append(make_point("table2", _FN, params, seed, DEFAULT_SEED,
+                                  label=f"{datapath}.{arch}"))
+    return pts
+
+
+def run_point(params: Mapping[str, Any], seed: int) -> Dict[str, float]:
+    config = _datapath_config(params["datapath"], params["arch"],
+                              params["quick"], seed)
+    m = Scenario(config).build().run_measure()
+    return {"mpps": m.total_mpps, "p50": m.p50_us, "p99": m.p99_us,
+            "p999": m.p999_us}
+
+
+def collect(results: Mapping[str, Any], quick: bool = True,
+            seed: Optional[int] = None) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="table2",
         title="P99/P99.9 latency (µs), 512B echo",
@@ -53,18 +82,16 @@ def run(quick: bool = True) -> ExperimentResult:
     )
     result.headers = ["datapath", "arch", "mpps", "p50_us", "p99_us",
                       "p999_us"]
-    datapaths = ["erpc-dpdk", "linefs"] if quick else \
-        ["erpc-dpdk", "erpc-rdma", "linefs"]
+    datapaths = _datapaths(quick)
     p999: Dict[Tuple[str, str], float] = {}
     mpps: Dict[Tuple[str, str], float] = {}
     for datapath in datapaths:
         for arch in ARCHS:
-            config = _datapath_config(datapath, arch, quick, seed=13)
-            m = Scenario(config).build().run_measure()
-            p999[(datapath, arch)] = m.p999_us
-            mpps[(datapath, arch)] = m.total_mpps
-            result.rows.append([datapath, arch, m.total_mpps, m.p50_us,
-                                m.p99_us, m.p999_us])
+            m = results[f"table2/{datapath}.{arch}"]
+            p999[(datapath, arch)] = m["p999"]
+            mpps[(datapath, arch)] = m["mpps"]
+            result.rows.append([datapath, arch, m["mpps"], m["p50"],
+                                m["p99"], m["p999"]])
 
     for datapath in datapaths:
         # Latency is only comparable at comparable delivered load: an
@@ -107,3 +134,7 @@ def run(quick: bool = True) -> ExperimentResult:
         "shows under dynamic conditions — see fig10 and the P99.9 spikes "
         "in the 144B smoke runs")
     return result
+
+
+def run(quick: bool = True, seed: Optional[int] = None) -> ExperimentResult:
+    return collect(run_points_serial(points(quick, seed)), quick, seed)

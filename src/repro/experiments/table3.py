@@ -4,19 +4,47 @@
 adds a modest 1.10-1.48x latency overhead (absolute overhead < 10 µs,
 negligible vs transport-protocol time constants); the slow path is always
 the slowest, with the penalty growing for large packets.
+
+Sweep decomposition: one point per (mode, message size).
 """
 
 from __future__ import annotations
 
+from typing import Any, Dict, List, Mapping, Optional
+
 from ..apps import ib_write_lat
+from ..runner.sweep import Point, make_point, run_points_serial
 from .report import ExperimentResult
 
-__all__ = ["run"]
+__all__ = ["run", "points", "run_point", "collect"]
 
 SIZES = [64, 1024, 4096]
+MODES = ["raw", "fast", "slow"]
+#: perftest's own default seed — keeps the default table bit-identical.
+DEFAULT_SEED = 0
+_FN = "repro.experiments.table3:run_point"
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def points(quick: bool = True, seed: Optional[int] = None) -> List[Point]:
+    pts = []
+    for size in SIZES:
+        for mode in MODES:
+            params = {"mode": mode, "size": size, "quick": quick}
+            pts.append(make_point("table3", _FN, params, seed, DEFAULT_SEED,
+                                  label=f"{mode}.{size}"))
+    return pts
+
+
+def run_point(params: Mapping[str, Any], seed: int) -> Dict[str, float]:
+    iters = 60 if params["quick"] else 200
+    arch = "baseline" if params["mode"] == "raw" else "ceio"
+    lat = ib_write_lat(arch, params["size"], iters=iters,
+                       force_slow=params["mode"] == "slow", seed=seed)
+    return {"avg_us": lat.avg_us}
+
+
+def collect(results: Mapping[str, Any], quick: bool = True,
+            seed: Optional[int] = None) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="table3",
         title="Latency (µs) of CEIO fast/slow paths vs raw RDMA write",
@@ -25,12 +53,10 @@ def run(quick: bool = True) -> ExperimentResult:
     )
     result.headers = ["msg_B", "raw_us", "fast_us", "fast_x",
                       "slow_us", "slow_x"]
-    iters = 60 if quick else 200
     for size in SIZES:
-        raw = ib_write_lat("baseline", size, iters=iters).avg_us
-        fast = ib_write_lat("ceio", size, iters=iters).avg_us
-        slow = ib_write_lat("ceio", size, iters=iters,
-                            force_slow=True).avg_us
+        raw = results[f"table3/raw.{size}"]["avg_us"]
+        fast = results[f"table3/fast.{size}"]["avg_us"]
+        slow = results[f"table3/slow.{size}"]["avg_us"]
         result.rows.append([size, raw, fast, fast / raw, slow, slow / raw])
         result.check_order(
             f"{size}B: slow >= fast >= raw",
@@ -45,3 +71,7 @@ def run(quick: bool = True) -> ExperimentResult:
             fast / raw < 1.6,
             f"{fast / raw:.2f}x")
     return result
+
+
+def run(quick: bool = True, seed: Optional[int] = None) -> ExperimentResult:
+    return collect(run_points_serial(points(quick, seed)), quick, seed)

@@ -7,20 +7,26 @@ path, eager credit release), and full CEIO. Paper: full CEIO improves the
 CPU-involved throughput 1.71-1.94x over baseline and always beats the
 unoptimised variant — credit reallocation matters most when involved flows
 dominate; the SW-ring/async machinery matters most when bypass dominates.
+
+Sweep decomposition: one point per (system, flow ratio).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..core import CeioConfig
+from ..runner.sweep import Point, make_point, run_points_serial
 from ..sim.units import US
 from ..workloads import Scenario, ScenarioConfig
 from .report import ExperimentResult
 
-__all__ = ["run", "RATIOS"]
+__all__ = ["run", "points", "run_point", "collect", "RATIOS"]
 
 RATIOS = [(6, 2), (4, 4), (2, 6)]  # 3:1, 1:1, 1:3 over 8 flows
+SYSTEMS = ["baseline", "ceio-noopt", "ceio"]
+DEFAULT_SEED = 17
+_FN = "repro.experiments.table4:run_point"
 
 
 def _ceio_no_opt() -> CeioConfig:
@@ -28,22 +34,38 @@ def _ceio_no_opt() -> CeioConfig:
                       async_drain=False)
 
 
-def _measure(arch: str, involved: int, bypass: int, quick: bool,
-             ceio: CeioConfig = None) -> float:
+def points(quick: bool = True, seed: Optional[int] = None) -> List[Point]:
+    pts = []
+    for involved, bypass in RATIOS:
+        for system in SYSTEMS:
+            params = {"system": system, "involved": involved,
+                      "bypass": bypass, "quick": quick}
+            pts.append(make_point(
+                "table4", _FN, params, seed, DEFAULT_SEED,
+                label=f"{system}.{involved}-{bypass}"))
+    return pts
+
+
+def run_point(params: Mapping[str, Any], seed: int) -> Dict[str, float]:
+    system = params["system"]
+    arch = "baseline" if system == "baseline" else "ceio"
+    ceio = _ceio_no_opt() if system == "ceio-noopt" else None
+    quick = params["quick"]
     # Deep client pipelines: the bypass traffic inflates the fabric RTT, so
     # a shallow closed loop would cap the RPC clients below the server's
     # CPU capacity and hide the cache effect this table measures.
     config = ScenarioConfig(
-        arch=arch, n_involved=involved, n_bypass=bypass,
+        arch=arch, n_involved=params["involved"], n_bypass=params["bypass"],
         payload=144, bypass_payload=1024, chunk_packets=32,
         outstanding=2048,
         warmup=(400 * US if quick else 800 * US),
         duration=(500 * US if quick else 1000 * US),
-        seed=17, ceio=ceio)
-    return Scenario(config).build().run_measure().involved_mpps
+        seed=seed, ceio=ceio)
+    return {"mpps": Scenario(config).build().run_measure().involved_mpps}
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def collect(results: Mapping[str, Any], quick: bool = True,
+            seed: Optional[int] = None) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="table4",
         title="Mixed I/O flows: CPU-involved Mpps, CEIO ablation",
@@ -55,9 +77,9 @@ def run(quick: bool = True) -> ExperimentResult:
                       "noopt_x", "ceio_mpps", "ceio_x"]
     data: Dict[Tuple[int, int], Tuple[float, float, float]] = {}
     for involved, bypass in RATIOS:
-        base = _measure("baseline", involved, bypass, quick)
-        noopt = _measure("ceio", involved, bypass, quick, _ceio_no_opt())
-        full = _measure("ceio", involved, bypass, quick)
+        base = results[f"table4/baseline.{involved}-{bypass}"]["mpps"]
+        noopt = results[f"table4/ceio-noopt.{involved}-{bypass}"]["mpps"]
+        full = results[f"table4/ceio.{involved}-{bypass}"]["mpps"]
         data[(involved, bypass)] = (base, noopt, full)
         result.rows.append([f"{involved//2}:{bypass//2}", base, noopt,
                             noopt / base, full, full / base])
@@ -77,3 +99,7 @@ def run(quick: bool = True) -> ExperimentResult:
         "so the paper's 1.71x baseline gap does not reproduce at that "
         "ratio; the optimisation ordering (full CEIO > unoptimised) does")
     return result
+
+
+def run(quick: bool = True, seed: Optional[int] = None) -> ExperimentResult:
+    return collect(run_points_serial(points(quick, seed)), quick, seed)

@@ -1,0 +1,186 @@
+"""Sweep orchestration glue: cache + pool + progress + experiment registry.
+
+:func:`execute_points` is the core primitive: deduplicate points by
+structural identity (the same simulation requested by two experiments
+runs once), serve what the result cache already has, fan the rest across
+the worker pool, and persist fresh results — returning a complete
+``point_id -> value`` mapping plus any points that exhausted their
+retries.
+
+:func:`run_sweeps` builds the point list for a set of experiment ids,
+executes it, and collects each experiment's :class:`ExperimentResult`.
+Experiments that don't (yet) expose a sweep run as a single opaque
+"whole" point via :func:`run_whole_experiment`, so they still cache and
+parallelise against each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .cache import DEFAULT_CACHE_DIR, ResultCache
+from .pool import PointOutcome, PoolConfig, WorkerPool
+from .progress import Progress
+from .sweep import Point, make_point
+
+__all__ = ["RunnerOptions", "SweepOutcome", "execute_points", "run_sweeps",
+           "run_whole_experiment", "run_experiment_cached"]
+
+
+@dataclass
+class RunnerOptions:
+    jobs: int = 1
+    use_cache: bool = True
+    #: Ignore existing cache entries (but still write fresh ones).
+    rerun: bool = False
+    cache_dir: str = DEFAULT_CACHE_DIR
+    timeout: Optional[float] = None
+    retries: int = 1
+    backoff: float = 0.5
+    quiet: bool = False
+    #: Override the runlog location (default: ``<cache_dir>/runlog.jsonl``).
+    runlog: Optional[str] = None
+
+
+@dataclass
+class SweepOutcome:
+    """Per-experiment result of :func:`run_sweeps`."""
+
+    exp_id: str
+    result: Any = None              # ExperimentResult when collection ran
+    error: Optional[str] = None
+    n_points: int = 0
+    n_executed: int = 0
+    n_cached: int = 0
+
+
+def execute_points(points: List[Point], options: RunnerOptions,
+                   progress: Optional[Progress] = None,
+                   ) -> Tuple[Dict[str, Any], List[PointOutcome]]:
+    """Run (or recall) every point; see module docstring."""
+    cache = ResultCache(options.cache_dir) if options.use_cache else None
+
+    # Structural dedupe: first point with a given content_key is canonical.
+    unique: Dict[str, Point] = {}
+    for point in points:
+        unique.setdefault(point.content_key, point)
+
+    values: Dict[str, Any] = {}     # content_key -> value
+    to_run: List[Point] = []
+    for key, point in unique.items():
+        if cache is not None and not options.rerun:
+            hit, value = cache.get(point)
+            if hit:
+                values[key] = value
+                if progress:
+                    progress.point_finished(PointOutcome(
+                        point=point, ok=True, value=value, cached=True))
+                continue
+        to_run.append(point)
+
+    failures: List[PointOutcome] = []
+
+    def _on_done(outcome: PointOutcome) -> None:
+        if outcome.ok:
+            values[outcome.point.content_key] = outcome.value
+            if cache is not None:
+                cache.put(outcome.point, outcome.value,
+                          elapsed=outcome.elapsed)
+        else:
+            failures.append(outcome)
+        if progress:
+            progress.point_finished(outcome)
+
+    pool = WorkerPool(PoolConfig(jobs=options.jobs, timeout=options.timeout,
+                                 retries=options.retries,
+                                 backoff=options.backoff))
+    pool.run(to_run,
+             on_start=progress.point_started if progress else None,
+             on_done=_on_done)
+
+    results = {p.point_id: values[p.content_key]
+               for p in points if p.content_key in values}
+    return results, failures
+
+
+# ----------------------------------------------------------------------
+# Whole-experiment fallback worker (experiments without points()/collect())
+# ----------------------------------------------------------------------
+def run_whole_experiment(params: Dict[str, Any],
+                         seed: Optional[int]) -> Dict[str, Any]:
+    from ..experiments import run_experiment
+    result = run_experiment(params["exp_id"], quick=params["quick"],
+                            seed=seed)
+    return result.to_dict()
+
+
+def _whole_point(exp_id: str, quick: bool, seed: Optional[int]) -> Point:
+    return Point(exp_id=exp_id, fn="repro.runner.cli:run_whole_experiment",
+                 params={"exp_id": exp_id, "quick": quick}, seed=seed,
+                 label="whole")
+
+
+# ----------------------------------------------------------------------
+# Experiment-level orchestration
+# ----------------------------------------------------------------------
+def run_sweeps(exp_ids: List[str], quick: bool = True,
+               seed: Optional[int] = None,
+               options: Optional[RunnerOptions] = None,
+               progress: Optional[Progress] = None,
+               ) -> Tuple[List[SweepOutcome], Progress]:
+    """Execute the combined sweep of several experiments, then collect."""
+    from ..experiments import EXPERIMENTS
+    from ..experiments.report import ExperimentResult
+
+    options = options or RunnerOptions()
+    plans: List[Tuple[str, Any, List[Point]]] = []  # (exp_id, spec, points)
+    for exp_id in exp_ids:
+        spec = EXPERIMENTS[exp_id]
+        if spec.points is not None:
+            pts = spec.points(quick=quick, seed=seed)
+        else:
+            pts = [_whole_point(exp_id, quick, seed)]
+        plans.append((exp_id, spec, pts))
+
+    all_points = [p for _, _, pts in plans for p in pts]
+    if progress is None:
+        runlog = options.runlog or f"{options.cache_dir}/runlog.jsonl"
+        progress = Progress(total=len(all_points), jobs=options.jobs,
+                            jsonl_path=runlog, quiet=options.quiet)
+    results, failures = execute_points(all_points, options, progress)
+    failed_ids = {o.point.point_id: o.error for o in failures}
+
+    outcomes: List[SweepOutcome] = []
+    for exp_id, spec, pts in plans:
+        outcome = SweepOutcome(exp_id=exp_id, n_points=len(pts))
+        missing = [p for p in pts if p.point_id not in results]
+        if missing:
+            details = "; ".join(
+                f"{p.point_id}: {failed_ids.get(p.point_id, 'no result')}"
+                for p in missing[:3])
+            outcome.error = (f"{len(missing)}/{len(pts)} points failed "
+                             f"({details})")
+        elif spec.points is not None:
+            outcome.result = spec.collect(results, quick=quick, seed=seed)
+        else:
+            outcome.result = ExperimentResult.from_dict(
+                results[pts[0].point_id])
+        outcomes.append(outcome)
+    return outcomes, progress
+
+
+def run_experiment_cached(exp_id: str, quick: bool = True,
+                          seed: Optional[int] = None,
+                          options: Optional[RunnerOptions] = None):
+    """One experiment through the cache (used by benchmarks/conftest.py).
+
+    Returns the ExperimentResult; raises RuntimeError if points failed.
+    """
+    options = options or RunnerOptions(quiet=True)
+    outcomes, _ = run_sweeps([exp_id], quick=quick, seed=seed,
+                             options=options)
+    outcome = outcomes[0]
+    if outcome.error:
+        raise RuntimeError(f"{exp_id}: {outcome.error}")
+    return outcome.result

@@ -1,0 +1,117 @@
+"""Sweep progress: live per-point lines, ETA, and a machine-readable log.
+
+Human output goes to ``stream`` (stderr by default, so experiment tables
+on stdout stay clean and pipeable). Every event is also appended to a
+``runlog.jsonl`` — one JSON object per line — so tooling (CI, dashboards,
+the benchmarks conftest) can audit exactly what executed, what was served
+from cache, how many attempts each point needed, and how long it took.
+
+The ETA model is deliberately simple: mean elapsed time of *executed*
+(non-cached) points times the number of outstanding points, divided by
+the worker count. Cached points are excluded from the mean — they
+complete in microseconds and would destroy the estimate.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, IO, Optional
+
+from .pool import PointOutcome
+from .sweep import Point
+
+__all__ = ["Progress"]
+
+
+class Progress:
+    """Collects per-point events; renders lines; appends to a JSONL log."""
+
+    def __init__(self, total: int, jobs: int = 1,
+                 stream: Optional[IO[str]] = None,
+                 jsonl_path: Optional[str] = None,
+                 quiet: bool = False):
+        self.total = total
+        self.jobs = max(1, jobs)
+        self.stream = stream if stream is not None else sys.stderr
+        self.jsonl_path = Path(jsonl_path) if jsonl_path else None
+        self.quiet = quiet
+        self.done = 0
+        self.executed = 0
+        self.cached = 0
+        self.failed = 0
+        self.retried = 0
+        self._exec_elapsed = 0.0
+        self._t0 = time.monotonic()
+        if self.jsonl_path:
+            self.jsonl_path.parent.mkdir(parents=True, exist_ok=True)
+        self._log({"event": "sweep_start", "total": total, "jobs": jobs})
+
+    # ------------------------------------------------------------------
+    def _log(self, record: Dict[str, Any]) -> None:
+        if not self.jsonl_path:
+            return
+        record = {"ts": time.time(), **record}
+        with open(self.jsonl_path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record) + "\n")
+
+    def _emit(self, line: str) -> None:
+        if not self.quiet:
+            print(line, file=self.stream, flush=True)
+
+    def _eta(self) -> str:
+        remaining = self.total - self.done
+        if remaining <= 0 or not self.executed:
+            return ""
+        per_point = self._exec_elapsed / self.executed
+        eta = per_point * remaining / self.jobs
+        return f", ETA {eta:.0f}s"
+
+    # ------------------------------------------------------------------
+    # Pool / cache callbacks
+    # ------------------------------------------------------------------
+    def point_started(self, point: Point, attempt: int) -> None:
+        self._log({"event": "point_start", "point_id": point.point_id,
+                   "exp_id": point.exp_id, "attempt": attempt,
+                   "seed": point.seed})
+        if attempt > 1:
+            self.retried += 1
+            self._emit(f"        retry #{attempt - 1} {point.pretty()}")
+
+    def point_finished(self, outcome: PointOutcome) -> None:
+        self.done += 1
+        if outcome.cached:
+            self.cached += 1
+            status = "cached"
+        elif outcome.ok:
+            self.executed += 1
+            self._exec_elapsed += outcome.elapsed
+            status = "done"
+        else:
+            self.failed += 1
+            status = "FAILED"
+        point = outcome.point
+        self._log({"event": "point_done", "point_id": point.point_id,
+                   "exp_id": point.exp_id, "status": status,
+                   "attempts": outcome.attempts,
+                   "elapsed_s": round(outcome.elapsed, 4),
+                   "error": outcome.error})
+        detail = "" if outcome.cached else f" {outcome.elapsed:.1f}s"
+        if outcome.error:
+            detail += f" ({outcome.error})"
+        self._emit(f"[{self.done:>3}/{self.total}] {status:<6} "
+                   f"{point.pretty()}{detail}{self._eta()}")
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        elapsed = time.monotonic() - self._t0
+        text = (f"{self.total} points: {self.executed} executed, "
+                f"{self.cached} cached, {self.failed} failed "
+                f"({self.retried} retries) in {elapsed:.1f}s")
+        self._log({"event": "sweep_done", "executed": self.executed,
+                   "cached": self.cached, "failed": self.failed,
+                   "retries": self.retried,
+                   "elapsed_s": round(elapsed, 3)})
+        return text

@@ -44,6 +44,8 @@ class Tracer:
         if not self.enabled(category):
             return
         if len(self.events) >= self.limit:
+            # Exactly one increment per event past the limit; disabled
+            # categories above never reach this point and never count.
             self.dropped += 1
             return
         self.events.append(TraceEvent(self.sim.now, category, fields))
@@ -72,6 +74,8 @@ class Tracer:
         for event in self.events:
             if wanted is None or event.category in wanted:
                 write(str(event))
+        if self.dropped:
+            write(f"... {self.dropped} events dropped (limit {self.limit})")
 
 
 class NullTracer:

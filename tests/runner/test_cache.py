@@ -1,0 +1,79 @@
+"""Content-addressed result cache: hits, misses, invalidation, pruning."""
+
+from repro.runner import Point, ResultCache, cache_key, code_fingerprint
+from repro.runner import cache as cache_mod
+
+
+def _point(params=None, seed=1, label="p"):
+    return Point("exp", "tests.runner.workers:ok", params or {"a": 1},
+                 seed=seed, label=label)
+
+
+def test_miss_then_hit_roundtrip(tmp_path):
+    cache = ResultCache(str(tmp_path), fingerprint="fp0")
+    point = _point()
+    hit, value = cache.get(point)
+    assert not hit and value is None
+    cache.put(point, {"doubled": 2}, elapsed=0.1)
+    hit, value = cache.get(point)
+    assert hit and value == {"doubled": 2}
+    assert (cache.hits, cache.misses) == (1, 1)
+
+
+def test_params_and_seed_changes_are_misses(tmp_path):
+    cache = ResultCache(str(tmp_path), fingerprint="fp0")
+    cache.put(_point({"a": 1}, seed=1), "v")
+    assert not cache.get(_point({"a": 2}, seed=1))[0]
+    assert not cache.get(_point({"a": 1}, seed=2))[0]
+    assert cache.get(_point({"a": 1}, seed=1))[0]
+
+
+def test_label_and_exp_id_do_not_affect_the_key(tmp_path):
+    cache = ResultCache(str(tmp_path), fingerprint="fp0")
+    cache.put(_point(label="first"), "v")
+    other = Point("other-exp", "tests.runner.workers:ok", {"a": 1},
+                  seed=1, label="second")
+    hit, value = cache.get(other)
+    assert hit and value == "v"
+
+
+def test_fingerprint_change_invalidates(tmp_path):
+    point = _point()
+    ResultCache(str(tmp_path), fingerprint="fp0").put(point, "old")
+    cache = ResultCache(str(tmp_path), fingerprint="fp1")
+    assert not cache.get(point)[0]
+    assert cache_key(point, "fp0") != cache_key(point, "fp1")
+
+
+def test_code_fingerprint_tracks_source_edits(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "mod.py").write_text("X = 1\n")
+    before = code_fingerprint(str(pkg))
+    assert before == code_fingerprint(str(pkg))  # memoised + stable
+    (pkg / "mod.py").write_text("X = 2\n")
+    cache_mod._FINGERPRINT_CACHE.pop(str(pkg))  # drop the memo
+    assert code_fingerprint(str(pkg)) != before
+
+
+def test_corrupt_entry_is_a_miss_not_an_error(tmp_path):
+    cache = ResultCache(str(tmp_path), fingerprint="fp0")
+    point = _point()
+    cache.put(point, "v")
+    path = cache._path(cache.key(point))
+    path.write_text("{ not json")
+    hit, value = cache.get(point)
+    assert not hit and value is None
+    cache.put(point, "v2")  # and it can be repaired in place
+    assert cache.get(point) == (True, "v2")
+
+
+def test_prune_removes_stale_fingerprints_only(tmp_path):
+    old = ResultCache(str(tmp_path), fingerprint="fp-old")
+    old.put(_point({"a": 1}), "v1")
+    new = ResultCache(str(tmp_path), fingerprint="fp-new")
+    new.put(_point({"a": 2}), "v2")
+    removed = new.prune()
+    assert removed == 1
+    assert not new.get(_point({"a": 1}))[0]
+    assert new.get(_point({"a": 2})) == (True, "v2")

@@ -32,6 +32,32 @@ def test_tracer_limit_and_dropped_count():
     assert tracer.dropped == 3
 
 
+def test_tracer_drop_accounting_and_dump_report():
+    """Regression: every event past ``limit`` counts exactly once (events
+    from disabled categories never count) and ``dump()`` reports the drop
+    count so truncated traces are never mistaken for complete ones."""
+    sim = Simulator()
+    tracer = Tracer(sim, categories={"keep"}, limit=2)
+    for i in range(6):
+        tracer.emit("keep", i=i)
+        tracer.emit("ignored", i=i)  # filtered out: must not count as drop
+    assert len(tracer.events) == 2
+    assert tracer.dropped == 4
+    lines = []
+    tracer.dump(write=lines.append)
+    assert lines[-1] == "... 4 events dropped (limit 2)"
+    assert len(lines) == 3  # 2 events + 1 drop report
+
+
+def test_tracer_dump_silent_when_nothing_dropped():
+    sim = Simulator()
+    tracer = Tracer(sim, limit=10)
+    tracer.emit("a", x=1)
+    lines = []
+    tracer.dump(write=lines.append)
+    assert len(lines) == 1 and "dropped" not in lines[0]
+
+
 def test_tracer_queries():
     sim = Simulator()
     tracer = Tracer(sim)
