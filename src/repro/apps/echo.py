@@ -105,7 +105,7 @@ class EchoServer:
         while self._running:
             records = yield from self.ethdev.rx_burst(self.flow, cfg.rx_burst)
             if not records:
-                yield self.sim.timeout(cfg.poll_gap)
+                yield cfg.poll_gap
                 continue
             for record in records:
                 yield from self.core.read_buffer(record.key,

@@ -110,7 +110,7 @@ class ErpcServer:
         while self._running:
             records = yield from self.ethdev.rx_burst(self.flow, cfg.rx_burst)
             if not records:
-                yield self.sim.timeout(cfg.poll_gap)
+                yield cfg.poll_gap
                 continue
             for record in records:
                 # A record may belong to another flow on shared-ring

@@ -80,7 +80,7 @@ class LineFsServer:
         while self._running:
             completions = self.cq.poll(8)
             if not completions:
-                yield self.sim.timeout(self.config.poll_gap)
+                yield self.config.poll_gap
                 continue
             for wc in completions:
                 yield from self._write_chunk(wc)

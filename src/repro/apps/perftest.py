@@ -57,7 +57,7 @@ class RdmaSink:
         while self._running:
             completions = self.cq.poll(16)
             if not completions:
-                yield self.sim.timeout(self.poll_gap)
+                yield self.poll_gap
                 continue
             now = self.sim.now
             rxmap = self.arch.flows
@@ -172,7 +172,7 @@ def ib_write_lat(arch_name: str = "ceio", msg_size: int = 64,
             done = sender.submit_message(flow.make_message())
             yield done
             while sink.message_latency.count < len(samples) + 1:
-                yield sim.timeout(50.0)
+                yield 50.0
             samples.append(sim.now - t0)
 
     proc = bed.sim.process(pingpong(bed.sim))

@@ -53,7 +53,7 @@ class CeioDriver:
                 yield from self._drain_once(state)
                 continue
             # Nothing delivered yet: poll.
-            yield self.sim.timeout(self.runtime.poll_interval)
+            yield self.runtime.poll_interval
 
     def post_recv(self, flow: Flow, buffers: int) -> None:
         """Zero-copy support: the application donates ``buffers`` receive
@@ -134,7 +134,7 @@ class CeioDriver:
                     if outstanding:
                         yield sim.any_of(outstanding)
                     else:
-                        yield sim.timeout(self.runtime.poll_interval)
+                        yield self.runtime.poll_interval
             finally:
                 state.draining = False
                 self.runtime.on_drain_complete(state)
@@ -160,7 +160,7 @@ class CeioDriver:
         entries = state.swring.nonresident_head(
             self._batch_size(state.flow))
         if not entries:
-            yield self.sim.timeout(self.runtime.poll_interval)
+            yield self.runtime.poll_interval
             return
         yield from self.runtime.buffer_manager.drain_batch(
             state.flow.flow_id, entries)

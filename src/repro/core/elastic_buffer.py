@@ -177,13 +177,13 @@ class ElasticBufferManager:
         while self._llc_headroom() < total and self.sim.now < deadline:
             self.fast_path_paused = True
             waited = True
-            yield self.sim.timeout(1_000.0)
+            yield 1_000.0
         if waited:
             self.fast_path_paused = False
 
         per_packet = (self.DRAIN_PER_PACKET_NS
                       + self._chaos() * self.DRAIN_CHAOS_NS)
-        yield self.sim.timeout(len(chunk) * per_packet)
+        yield len(chunk) * per_packet
         yield from self.host.nic.dma.read_from_nic(self.host.nic.memory,
                                                    total)
         now = self.sim.now

@@ -152,18 +152,19 @@ class CeioArchitecture(IOArchitecture):
             # The RMT/credit pipeline stage adds latency but is pipelined,
             # so it is charged at delivery rather than serialised in the
             # firmware loop. Equal delay on every packet preserves order.
-            def push() -> None:
-                t = sim.now
-                packet.delivered_time = t
-                record.deliver_time = t
-                swring.push_fast(record)
-                rx.delivered.add(1)
-                self._notify_ready(packet.flow.flow_id)
-
-            sim.schedule(overhead, push)
+            sim.call_later(overhead, self._push_fast, packet, record,
+                           swring, rx)
 
         write = DmaWrite(record.key, packet.size, ddio=True, deliver=deliver)
         yield from self.host.nic.dma.write_to_host(write)
+
+    def _push_fast(self, packet, record, swring, rx) -> None:
+        t = self.sim.now
+        packet.delivered_time = t
+        record.deliver_time = t
+        swring.push_fast(record)
+        rx.delivered.add(1)
+        self._notify_ready(packet.flow.flow_id)
 
     def _slow_path(self, packet: Packet, state: CeioFlowState, rx: FlowRx):
         record = RxRecord(packet, next(_keys), path="slow")

@@ -70,6 +70,10 @@ def main(argv=None) -> int:
                              "(default 1)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-point progress lines")
+    parser.add_argument("--profile", action="store_true",
+                        help="wrap every executed point in cProfile and "
+                             "dump <point>.prof next to the runlog "
+                             "(runs serially; skips cache reads)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -82,10 +86,16 @@ def main(argv=None) -> int:
         parser.error("no experiments given (try --list or 'all')")
 
     ids = _expand_ids(args.experiments, parser)
+    profile_dir = None
+    if args.profile:
+        # .prof files land next to the runlog (<cache_dir>/profiles/).
+        profile_dir = f"{args.cache_dir}/profiles"
+        print(f"profiling: one .prof per point under {profile_dir}/ "
+              "(serial execution, cache reads skipped)", file=sys.stderr)
     options = RunnerOptions(
         jobs=args.jobs, use_cache=not args.no_cache, rerun=args.rerun,
         cache_dir=args.cache_dir, timeout=args.timeout,
-        retries=args.retries, quiet=args.quiet)
+        retries=args.retries, quiet=args.quiet, profile_dir=profile_dir)
 
     start = time.time()
     outcomes, progress = run_sweeps(ids, quick=not args.full,

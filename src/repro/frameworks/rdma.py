@@ -138,7 +138,7 @@ class RdmaEndpoint:
     def _reassembly_loop(self):
         while True:
             if len(self.cq) >= self.MAX_CQ_BACKLOG:
-                yield self.sim.timeout(self.poll_interval)
+                yield self.poll_interval
                 continue
             progressed = False
             for fid, qp in list(self.qps.items()):
@@ -147,7 +147,7 @@ class RdmaEndpoint:
                     progressed = True
                     self._absorb(qp, records)
             if not progressed:
-                yield self.sim.timeout(self.poll_interval)
+                yield self.poll_interval
 
     def _absorb(self, qp: QueuePair, records: List[RxRecord]) -> None:
         expected = qp.flow.packets_per_message

@@ -34,10 +34,10 @@ class Core:
         self.read_misses = Counter(f"core{index}.read_misses")
 
     def compute(self, cycles: float):
-        """Process: execute ``cycles`` of work."""
+        """Process: execute ``cycles`` of work (yield the returned delay)."""
         duration = cycles * self.config.cycle_ns
         self.busy_ns += duration
-        return self.sim.timeout(duration)
+        return duration
 
     def read_latency(self, key, nbytes: int) -> Tuple[float, bool]:
         """Latency for this core to read an I/O buffer, and whether it missed.
@@ -66,7 +66,7 @@ class Core:
         """
         latency, missed = self.read_latency(key, nbytes)
         self.busy_ns += latency
-        yield self.sim.timeout(latency)
+        yield latency
         return missed
 
     def copy_to_app_buffer(self, nbytes: int):
@@ -82,7 +82,7 @@ class Core:
         self.dram.record_demand(self.sim.now, nbytes, write=True)
         latency = copy_cycles * self.config.cycle_ns + cfg.miss_penalty * 0.5 + dram_ns * 0.1
         self.busy_ns += latency
-        yield self.sim.timeout(latency)
+        yield latency
 
     def utilization(self, now: float) -> float:
         return self.busy_ns / now if now > 0 else 0.0

@@ -45,8 +45,8 @@ class Dram:
         self.queue_gauge.adjust(self.sim.now, +1)
         yield self._channels.request()
         try:
-            yield self.sim.timeout(self.config.base_latency
-                                   + nbytes / self.config.channel_bandwidth)
+            yield (self.config.base_latency
+                   + nbytes / self.config.channel_bandwidth)
         finally:
             self._channels.release()
             self.queue_gauge.adjust(self.sim.now, -1)

@@ -69,13 +69,12 @@ class MemoryController:
             write: DmaWrite = entry.payload
             if write.ddio:
                 evicted = self.llc.io_insert(write.key, write.nbytes)
-                yield self.sim.timeout(write.nbytes / self.LLC_FILL_BANDWIDTH)
+                yield write.nbytes / self.LLC_FILL_BANDWIDTH
                 if evicted:
                     # Dirty evicted lines drain at write-back bandwidth
                     # before the next IIO entry is served (§2.2's "extra
                     # memory bandwidth" cost of DDIO thrash).
-                    yield self.sim.timeout(evicted
-                                           / self.WRITEBACK_BANDWIDTH)
+                    yield evicted / self.WRITEBACK_BANDWIDTH
                     self.dram.record_demand(self.sim.now, evicted,
                                             write=True)
                     self.writeback_bytes.add(evicted)

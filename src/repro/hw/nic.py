@@ -73,7 +73,7 @@ class OnNicMemory:
     def read(self, nbytes: int):
         """Process: read from on-board memory (pre-DMA to host)."""
         yield self._bandwidth.take(nbytes)
-        yield self.sim.timeout(self.config.memory_latency)
+        yield self.config.memory_latency
         self.bytes_read.add(nbytes)
 
     def bandwidth_take(self, nbytes: int):
@@ -124,8 +124,8 @@ class DmaEngine:
         nicmem_take = nic_memory.bandwidth_take(nbytes)
         wire_take = self.pcie.wire_take(nbytes)
         yield self.sim.all_of([nicmem_take, wire_take])
-        yield self.sim.timeout(nic_memory.config.memory_latency
-                               + self.pcie.config.read_latency)
+        yield (nic_memory.config.memory_latency
+               + self.pcie.config.read_latency)
         nic_memory.bytes_read.add(nbytes)
         self.pcie.account_read(nbytes)
         self.reads_issued.add(1)
@@ -156,7 +156,7 @@ class ArmCores:
 
         def loop(sim):
             while True:
-                yield sim.timeout(period)
+                yield period
                 body()
 
         proc = self.sim.process(loop(self.sim), name=name)
@@ -216,7 +216,7 @@ class Nic:
     def _firmware_loop(self):
         while True:
             packet = yield self._ingress.get()
-            yield self.sim.timeout(self.config.firmware_overhead)
+            yield self.config.firmware_overhead
             yield from self.handler.on_packet(packet)
             self._mac_bytes -= packet.size
             self.mac_gauge.update(self.sim.now, self._mac_bytes)

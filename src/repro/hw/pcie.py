@@ -67,8 +67,9 @@ class PcieLink:
         self.bandwidth_meter.record(self.sim.now, wire)
 
     def write_latency_event(self):
-        """Timeout covering the one-way in-flight latency of a posted write."""
-        return self.sim.timeout(self.config.write_latency)
+        """One-way in-flight latency of a posted write, as a yieldable
+        bare delay (the kernel's allocation-free timeout idiom)."""
+        return self.config.write_latency
 
     def read(self, payload: int):
         """Process: a host-issued DMA read returning ``payload`` bytes.
@@ -78,7 +79,7 @@ class PcieLink:
         """
         wire = self.config.wire_bytes(payload)
         yield self._wire.take(wire)
-        yield self.sim.timeout(self.config.read_latency)
+        yield self.config.read_latency
         self.account_read(payload)
 
     def wire_take(self, payload: int):

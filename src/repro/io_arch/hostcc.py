@@ -92,7 +92,7 @@ class HostccArch(IOArchitecture):
     def _control_loop(self):
         cfg = self.config
         while True:
-            yield self.sim.timeout(cfg.control_interval)
+            yield cfg.control_interval
             now = self.sim.now
             iio_fill = self.host.iio.fill_fraction
             pcie_util = self.host.pcie.utilization(now)

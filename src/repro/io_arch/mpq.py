@@ -107,5 +107,5 @@ class MpqArch(IOArchitecture):
 
     def _aging_loop(self):
         while True:
-            yield self.sim.timeout(self.config.aging_period)
+            yield self.config.aging_period
             self._bytes_sent.clear()

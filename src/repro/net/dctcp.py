@@ -257,7 +257,7 @@ class DctcpSender:
 
     def _rto_loop(self):
         while True:
-            yield self.sim.timeout(max(self.config.rto / 2, self.rto / 4))
+            yield max(self.config.rto / 2, self.rto / 4)
             if not self.inflight:
                 continue
             oldest_seq, (packet, sent_time) = next(iter(self.inflight.items()))

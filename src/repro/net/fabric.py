@@ -98,9 +98,8 @@ class Testbed:
         if sender is None:
             return
         marked = packet.ecn_marked or extra_mark
-        seq = packet.seq
-        self.sim.schedule(self.fabric_config.one_way_delay,
-                          lambda: sender.on_ack(seq, marked))
+        self.sim.call_later(self.fabric_config.one_way_delay,
+                            sender.on_ack, packet.seq, marked)
 
     def run(self, until: float) -> None:
         self.sim.run(until=until)

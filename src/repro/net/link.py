@@ -41,21 +41,13 @@ class Link:
     def _egress(self):
         while True:
             packet = yield self._queue.get()
-            yield self.sim.timeout(packet.size / self.rate)
+            yield packet.size / self.rate
             self.tx_packets.add(1)
             self.tx_bytes.add(packet.size)
             if self.deliver is not None:
-                # Propagation does not occupy the link: schedule delivery.
-                self.sim.schedule(self.propagation,
-                                  self._make_delivery(packet))
-
-    def _make_delivery(self, packet):
-        deliver = self.deliver
-
-        def _deliver():
-            deliver(packet)
-
-        return _deliver
+                # Propagation does not occupy the link: schedule delivery
+                # (allocation-free; the packet rides as the callable's arg).
+                self.sim.call_later(self.propagation, self.deliver, packet)
 
 
 class SwitchPort:
@@ -103,16 +95,8 @@ class SwitchPort:
     def _egress(self):
         while True:
             packet = yield self._queue.get()
-            yield self.sim.timeout(packet.size / self.rate)
+            yield packet.size / self.rate
             self._queued_bytes -= packet.size
             self.queue_gauge.update(self.sim.now, self._queued_bytes)
             self.tx_packets.add(1)
-            self.sim.schedule(self.propagation, self._make_delivery(packet))
-
-    def _make_delivery(self, packet):
-        deliver = self.deliver
-
-        def _deliver():
-            deliver(packet)
-
-        return _deliver
+            self.sim.call_later(self.propagation, self.deliver, packet)

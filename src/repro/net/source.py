@@ -57,7 +57,7 @@ class SaturatingSource:
 
     def _loop(self, delay: float = 0.0):
         if delay > 0:
-            yield self.sim.timeout(delay)
+            yield delay
         while self._running:
             done = self.sender.submit_message(self.flow.make_message())
             yield done
@@ -106,9 +106,9 @@ class OpenLoopSource:
     def _loop(self, delay: float = 0.0):
         try:
             if delay > 0:
-                yield self.sim.timeout(delay)
+                yield delay
             while self._running:
-                yield self.sim.timeout(self._interval())
+                yield self._interval()
                 if not self._running:
                     return
                 self.sender.submit_message(self.flow.make_message())

@@ -41,6 +41,10 @@ class RunnerOptions:
     quiet: bool = False
     #: Override the runlog location (default: ``<cache_dir>/runlog.jsonl``).
     runlog: Optional[str] = None
+    #: Profile every executed point with cProfile, dumping one ``.prof``
+    #: per point into this directory. Implies serial execution and skips
+    #: cache reads (a cache hit would mean nothing runs to profile).
+    profile_dir: Optional[str] = None
 
 
 @dataclass
@@ -68,8 +72,9 @@ def execute_points(points: List[Point], options: RunnerOptions,
 
     values: Dict[str, Any] = {}     # content_key -> value
     to_run: List[Point] = []
+    skip_cache_read = options.rerun or options.profile_dir is not None
     for key, point in unique.items():
-        if cache is not None and not options.rerun:
+        if cache is not None and not skip_cache_read:
             hit, value = cache.get(point)
             if hit:
                 values[key] = value
@@ -94,7 +99,8 @@ def execute_points(points: List[Point], options: RunnerOptions,
 
     pool = WorkerPool(PoolConfig(jobs=options.jobs, timeout=options.timeout,
                                  retries=options.retries,
-                                 backoff=options.backoff))
+                                 backoff=options.backoff,
+                                 profile_dir=options.profile_dir))
     pool.run(to_run,
              on_start=progress.point_started if progress else None,
              on_done=_on_done)

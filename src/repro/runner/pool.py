@@ -24,8 +24,11 @@ pure function of ``(fn, params, seed)``, so the supervisor only collates.
 
 from __future__ import annotations
 
+import cProfile
 import multiprocessing
+import os
 import queue as queue_mod
+import re
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -50,6 +53,10 @@ class PoolConfig:
     backoff: float = 0.5
     #: multiprocessing start method (``None`` = platform default).
     start_method: Optional[str] = None
+    #: When set, wrap each point in ``cProfile`` and dump a ``.prof`` file
+    #: per point into this directory. Forces serial in-process execution
+    #: (child-process profiles would be lost with the worker).
+    profile_dir: Optional[str] = None
 
 
 @dataclass
@@ -140,7 +147,7 @@ class WorkerPool:
         """Run every point; returns outcomes in input order."""
         if not points:
             return []
-        if self.config.jobs <= 1:
+        if self.config.jobs <= 1 or self.config.profile_dir:
             return self._run_serial(points, on_start, on_done)
         try:
             return self._run_pool(points, on_start, on_done)
@@ -167,8 +174,11 @@ class WorkerPool:
                 if on_start:
                     on_start(point, attempts)
                 try:
-                    value = resolve_worker(point.fn)(
-                        dict(point.params), point.seed)
+                    worker = resolve_worker(point.fn)
+                    if cfg.profile_dir:
+                        value = self._run_profiled(worker, point)
+                    else:
+                        value = worker(dict(point.params), point.seed)
                     ok = True
                     break
                 except Exception as exc:
@@ -184,6 +194,17 @@ class WorkerPool:
             if on_done:
                 on_done(outcome)
         return outcomes
+
+    def _run_profiled(self, worker, point: Point):
+        """Run one point under cProfile, dumping ``<point_id>.prof``."""
+        profile_dir = self.config.profile_dir
+        os.makedirs(profile_dir, exist_ok=True)
+        fname = re.sub(r"[^A-Za-z0-9._-]+", "_", point.point_id) + ".prof"
+        prof = cProfile.Profile()
+        try:
+            return prof.runcall(worker, dict(point.params), point.seed)
+        finally:
+            prof.dump_stats(os.path.join(profile_dir, fname))
 
     # ------------------------------------------------------------------
     # Multiprocessing path

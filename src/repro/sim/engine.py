@@ -8,13 +8,40 @@ yield :class:`Event` objects to suspend until those events fire.
 Time is a ``float`` measured in **nanoseconds** throughout the code base;
 helpers for other units live in :mod:`repro.sim.units`.
 
+Hot-path idioms
+---------------
+The kernel is the per-packet cost floor of every experiment, so the
+dominant operations have allocation-free fast paths (see
+``docs/ARCHITECTURE.md`` -> "Kernel fast paths" for the full contract):
+
+- ``yield <float>`` from a process means "timeout of that many
+  nanoseconds": the process is rescheduled directly on the calendar with
+  no :class:`Timeout` (or any other) object constructed. This is the
+  preferred way to suspend when the timeout's event object is not needed.
+- :meth:`Simulator.call_later` / :meth:`Simulator.call_at` push a plain
+  callable (plus positional args) onto the calendar — no ``Event``, no
+  closure. They return a *handle* that :meth:`Simulator.cancel` turns
+  into a no-op in O(1) without unlinking from the heap.
+- ``Simulator.timeout()`` recycles fired :class:`Timeout` objects through
+  a small free-list when the sole waiter was a process (the ``yield
+  sim.timeout(d)`` idiom). A timeout yielded to the kernel is owned by
+  the kernel once the process resumes and must not be retained across
+  the resume.
+
+Determinism contract: every scheduling action — event trigger, timeout,
+bare-float yield, ``call_later`` — consumes exactly one monotonically
+increasing sequence number, and ties at equal simulated time are broken
+by that sequence number. Fast paths change *what is allocated*, never
+the (time, sequence) order, so identical seeds produce identical event
+ordering on either idiom.
+
 Example
 -------
 >>> sim = Simulator()
 >>> log = []
 >>> def worker(sim, name, period):
 ...     while sim.now < 10:
-...         yield sim.timeout(period)
+...         yield period
 ...         log.append((name, sim.now))
 >>> _ = sim.process(worker(sim, "a", 3))
 >>> _ = sim.process(worker(sim, "b", 5))
@@ -25,8 +52,7 @@ Example
 
 from __future__ import annotations
 
-import heapq
-import itertools
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -59,6 +85,18 @@ class Interrupt(Exception):
 
 #: Sentinel distinguishing "not yet triggered" from a ``None`` event value.
 _PENDING = object()
+
+#: Sentinel target for a process suspended on a bare-float timeout.
+_BARE = object()
+
+#: Fired Timeouts kept for reuse, per simulator.
+_POOL_MAX = 128
+
+_EMPTY = ()
+
+
+def _cancelled(*_args) -> None:
+    """Replacement callable for cancelled calendar entries."""
 
 
 class Event:
@@ -103,21 +141,27 @@ class Event:
     # -- triggering ------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully, delivering ``value`` to waiters."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError("event has already been triggered")
         self._value = value
-        self.sim._schedule_event(self)
+        sim = self.sim
+        seq = sim._seq + 1
+        sim._seq = seq
+        heappush(sim._queue, [sim._now, seq, self._process, _EMPTY])
         return self
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event with an exception to be raised in waiters."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError("event has already been triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
         self._ok = False
         self._value = exception
-        self.sim._schedule_event(self)
+        sim = self.sim
+        seq = sim._seq + 1
+        sim._seq = seq
+        heappush(sim._queue, [sim._now, seq, self._process, _EMPTY])
         return self
 
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
@@ -127,10 +171,11 @@ class Event:
         *current* simulation step instead of being lost.
         """
         if self.callbacks is None:
-            # Already fired: deliver on a fresh immediate event.
-            imm = Event(self.sim)
-            imm.add_callback(lambda _e: fn(self))
-            imm.succeed()
+            # Already fired: deliver at the current step.
+            sim = self.sim
+            seq = sim._seq + 1
+            sim._seq = seq
+            heappush(sim._queue, [sim._now, seq, fn, (self,)])
         else:
             self.callbacks.append(fn)
 
@@ -147,49 +192,87 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` nanoseconds after creation."""
+    """An event that fires ``delay`` nanoseconds after creation.
 
-    __slots__ = ("delay", "_delayed_value")
+    Instances whose sole waiter is a process (``yield sim.timeout(d)``)
+    are recycled through the simulator's free-list after firing; such a
+    timeout must not be retained by the process across the resume.
+    """
+
+    __slots__ = ("delay", "_delayed_value", "_armed")
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay!r}")
-        super().__init__(sim)
+        Event.__init__(self, sim)
         self.delay = delay
         self._delayed_value = value
-        sim._schedule_event(self, delay)
+        #: True when the kernel may recycle this instance after it fires.
+        self._armed = False
+        seq = sim._seq + 1
+        sim._seq = seq
+        heappush(sim._queue, [sim._now + delay, seq, self._process, _EMPTY])
 
     def _process(self) -> None:
         # The value is only published when the timeout actually fires so
         # that ``triggered`` stays False while the timeout is pending.
         if self._value is _PENDING:
             self._value = self._delayed_value
-        super()._process()
+        callbacks, self.callbacks = self.callbacks, None
+        if self._armed and len(callbacks) == 1:
+            # Sole waiter is a process: deliver, then recycle. The resumed
+            # generator runs inside this call and reads the value before
+            # the reset below.
+            callbacks[0](self)
+            self._value = _PENDING
+            self._ok = True
+            self._delayed_value = None
+            self._armed = False
+            self.callbacks = []
+            pool = self.sim._timeout_pool
+            if len(pool) < _POOL_MAX:
+                pool.append(self)
+            return
+        for fn in callbacks:
+            fn(self)
 
 
 class Process(Event):
     """A running generator; also an event that fires when the generator ends.
 
     The event value is the generator's return value (``StopIteration.value``).
+
+    A process may suspend on any :class:`Event` — or on a bare ``float``
+    (or ``int``), meaning a timeout of that many nanoseconds with no event
+    object constructed.
     """
 
-    __slots__ = ("generator", "_target", "name")
+    __slots__ = ("generator", "name", "_target", "_send", "_resume_cb",
+                 "_bare_cb", "_bare_entry")
 
     def __init__(self, sim: "Simulator",
-                 generator: Generator[Event, Any, Any],
+                 generator: Generator[Any, Any, Any],
                  name: str = ""):
-        super().__init__(sim)
-        if not hasattr(generator, "send"):
+        Event.__init__(self, sim)
+        send = getattr(generator, "send", None)
+        if send is None:
             raise SimulationError(
                 f"process() requires a generator, got {generator!r}")
         self.generator = generator
+        self._send = send
         self.name = name or getattr(generator, "__name__", "process")
-        #: The event this process is currently waiting on (None when running).
-        self._target: Optional[Event] = None
+        #: What this process is waiting on: an Event, the bare-timeout
+        #: sentinel, or None while running.
+        self._target: Any = None
+        self._bare_entry: Optional[list] = None
+        # Prebound callbacks: created once so the per-suspend cost is a
+        # plain attribute load instead of a bound-method allocation.
+        self._resume_cb = self._resume
+        self._bare_cb = self._bare_resume
         # Kick off on the next simulation step.
-        init = Event(sim)
-        init.add_callback(self._resume)
-        init.succeed()
+        seq = sim._seq + 1
+        sim._seq = seq
+        heappush(sim._queue, [sim._now, seq, self._start, _EMPTY])
 
     @property
     def is_alive(self) -> bool:
@@ -197,39 +280,72 @@ class Process(Event):
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError("cannot interrupt a finished process")
-        if self._target is None:
+        target = self._target
+        if target is None:
             raise SimulationError(
                 "cannot interrupt a process that is not waiting")
-        target, self._target = self._target, None
-        # Detach from the event we were waiting on so its eventual firing
-        # does not resume us a second time.
-        if target.callbacks is not None:
+        self._target = None
+        if target is _BARE:
+            # Neutralise the pending calendar entry in place.
+            entry = self._bare_entry
+            entry[2] = _cancelled
+            entry[3] = _EMPTY
+            self._bare_entry = None
+        elif target.callbacks is not None:
+            # Detach from the event we were waiting on so its eventual
+            # firing does not resume us a second time.
             try:
-                target.callbacks.remove(self._resume)
+                target.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
-        imm = Event(self.sim)
-        imm.add_callback(lambda _e: self._step_throw(Interrupt(cause)))
-        imm.succeed()
+        sim = self.sim
+        seq = sim._seq + 1
+        sim._seq = seq
+        heappush(sim._queue,
+                 [sim._now, seq, self._step_throw, (Interrupt(cause),)])
 
     # -- internal --------------------------------------------------------
+    def _start(self) -> None:
+        self._step_send(None)
+
     def _resume(self, event: Event) -> None:
         self._target = None
-        if event.ok:
+        if event._ok:
             self._step_send(event._value)
         else:
             self._step_throw(event._value)
 
+    def _bare_resume(self) -> None:
+        self._target = None
+        self._bare_entry = None
+        self._step_send(None)
+
     def _step_send(self, value: Any) -> None:
         try:
-            target = self.generator.send(value)
+            target = self._send(value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
         except Exception as exc:
             self._crash(exc)
+            return
+        cls = target.__class__
+        if cls is float or cls is int:
+            # Bare-number yield: a timeout with nothing allocated beyond
+            # the calendar entry itself.
+            if target < 0:
+                self._step_throw(
+                    SimulationError(f"negative timeout delay: {target!r}"))
+                return
+            sim = self.sim
+            seq = sim._seq + 1
+            sim._seq = seq
+            entry = [sim._now + target, seq, self._bare_cb, _EMPTY]
+            heappush(sim._queue, entry)
+            self._bare_entry = entry
+            self._target = _BARE
             return
         self._wait_on(target)
 
@@ -245,6 +361,20 @@ class Process(Event):
         except Exception as inner:
             self._crash(inner)
             return
+        cls = target.__class__
+        if cls is float or cls is int:
+            if target < 0:
+                self._step_throw(
+                    SimulationError(f"negative timeout delay: {target!r}"))
+                return
+            sim = self.sim
+            seq = sim._seq + 1
+            sim._seq = seq
+            entry = [sim._now + target, seq, self._bare_cb, _EMPTY]
+            heappush(sim._queue, entry)
+            self._bare_entry = entry
+            self._target = _BARE
+            return
         self._wait_on(target)
 
     def _crash(self, exc: BaseException) -> None:
@@ -259,11 +389,19 @@ class Process(Event):
     def _wait_on(self, target: Event) -> None:
         if not isinstance(target, Event):
             raise SimulationError(
-                f"process {self.name!r} yielded {target!r}, expected an Event")
+                f"process {self.name!r} yielded {target!r}, expected an "
+                "Event or a bare number of nanoseconds")
         if target.sim is not self.sim:
             raise SimulationError("cannot wait on an event from another simulator")
         self._target = target
-        target.add_callback(self._resume)
+        callbacks = target.callbacks
+        if callbacks is None:
+            target.add_callback(self._resume_cb)
+            return
+        if not callbacks and type(target) is Timeout:
+            # Sole waiter on a plain timeout: arm it for free-list reuse.
+            target._armed = True
+        callbacks.append(self._resume_cb)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Process {self.name!r} alive={self.is_alive}>"
@@ -328,14 +466,19 @@ class Simulator:
     """The event calendar and simulated clock.
 
     All model components hold a reference to one ``Simulator`` and interact
-    through :meth:`timeout`, :meth:`event`, and :meth:`process`.
+    through :meth:`timeout`, :meth:`event`, :meth:`process`, and the
+    allocation-free :meth:`call_later` / :meth:`call_at`.
+
+    Calendar entries are ``[time, seq, fn, args]`` lists; ``fn(*args)``
+    runs when the entry fires. ``seq`` breaks ties at equal times in
+    scheduling order, which is what makes runs deterministic.
     """
 
     def __init__(self) -> None:
         self._now: float = 0.0
-        self._queue: List = []  # heap of (time, seq, event)
-        self._seq = itertools.count()
-        self._active = True
+        self._queue: List[list] = []  # heap of [time, seq, fn, args]
+        self._seq = 0
+        self._timeout_pool: List[Timeout] = []
 
     @property
     def now(self) -> float:
@@ -348,10 +491,26 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that fires ``delay`` ns from now."""
+        """Create an event that fires ``delay`` ns from now.
+
+        Prefer ``yield <delay>`` inside processes when the event object is
+        not needed — it allocates nothing.
+        """
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay: {delay!r}")
+            t = pool.pop()
+            t.delay = delay
+            t._delayed_value = value
+            seq = self._seq + 1
+            self._seq = seq
+            heappush(self._queue, [self._now + delay, seq, t._process,
+                                   _EMPTY])
+            return t
         return Timeout(self, delay, value)
 
-    def process(self, generator: Generator[Event, Any, Any],
+    def process(self, generator: Generator[Any, Any, Any],
                 name: str = "") -> Process:
         """Start running ``generator`` as a simulation process."""
         return Process(self, generator, name=name)
@@ -362,15 +521,50 @@ class Simulator:
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
 
-    def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
-        """Run a plain callable ``delay`` ns from now (no process needed)."""
-        ev = Timeout(self, delay)
-        ev.add_callback(lambda _e: fn())
-        return ev
+    # -- allocation-free scheduling ---------------------------------------
+    def call_at(self, when: float, fn: Callable, *args: Any) -> list:
+        """Run ``fn(*args)`` at absolute time ``when``; returns a handle
+        accepted by :meth:`cancel`."""
+        if when < self._now:
+            raise SimulationError(
+                f"call_at({when}) is in the past (now={self._now})")
+        seq = self._seq + 1
+        self._seq = seq
+        entry = [when, seq, fn, args]
+        heappush(self._queue, entry)
+        return entry
+
+    def call_later(self, delay: float, fn: Callable, *args: Any) -> list:
+        """Run ``fn(*args)`` ``delay`` ns from now; returns a handle
+        accepted by :meth:`cancel`. Allocation-free: no Event, no closure."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay!r}")
+        seq = self._seq + 1
+        self._seq = seq
+        entry = [self._now + delay, seq, fn, args]
+        heappush(self._queue, entry)
+        return entry
+
+    def cancel(self, handle: list) -> None:
+        """Neutralise a pending :meth:`call_later`/:meth:`call_at` entry.
+
+        O(1): the entry stays on the calendar but fires as a no-op.
+        Cancelling an entry that already fired is harmless.
+        """
+        handle[2] = _cancelled
+        handle[3] = _EMPTY
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> list:
+        """Back-compat alias for :meth:`call_later`."""
+        return self.call_later(delay, fn, *args)
 
     # -- execution ---------------------------------------------------------
     def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
-        heapq.heappush(self._queue, (self._now + delay, next(self._seq), event))
+        """Schedule ``event._process`` ``delay`` ns from now (internal)."""
+        seq = self._seq + 1
+        self._seq = seq
+        heappush(self._queue, [self._now + delay, seq, event._process,
+                               _EMPTY])
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -378,11 +572,13 @@ class Simulator:
 
     def step(self) -> None:
         """Process exactly one scheduled event."""
-        when, _seq, event = heapq.heappop(self._queue)
-        if when < self._now:
-            raise SimulationError("event scheduled in the past")
-        self._now = when
-        event._process()
+        entry = heappop(self._queue)
+        self._now = entry[0]
+        args = entry[3]
+        if args:
+            entry[2](*args)
+        else:
+            entry[2]()
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the calendar empties or simulated time reaches ``until``.
@@ -391,17 +587,37 @@ class Simulator:
         even if the last event fires earlier, so rate computations based on
         ``sim.now`` are well-defined.
         """
-        if until is not None and until < self._now:
+        queue = self._queue
+        pop = heappop
+        if until is None:
+            while queue:
+                entry = pop(queue)
+                self._now = entry[0]
+                args = entry[3]
+                if args:
+                    entry[2](*args)
+                else:
+                    entry[2]()
+            return
+        if until < self._now:
             raise SimulationError(
                 f"run(until={until}) is in the past (now={self._now})")
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
+        while queue:
+            entry = queue[0]
+            when = entry[0]
+            if when > until:
                 break
-            self.step()
-        if until is not None:
-            self._now = max(self._now, until)
+            pop(queue)
+            self._now = when
+            args = entry[3]
+            if args:
+                entry[2](*args)
+            else:
+                entry[2]()
+        if self._now < until:
+            self._now = until
 
-    def run_process(self, generator: Generator[Event, Any, Any],
+    def run_process(self, generator: Generator[Any, Any, Any],
                     until: Optional[float] = None) -> Any:
         """Convenience: start ``generator``, run, and return its value."""
         proc = self.process(generator)

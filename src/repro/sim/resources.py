@@ -229,7 +229,7 @@ class Resource:
         """Process helper: acquire, hold for ``duration`` ns, release."""
         yield self.request()
         try:
-            yield self.sim.timeout(duration)
+            yield duration
         finally:
             self.release()
 
@@ -264,7 +264,9 @@ class TokenBucket:
         self._tokens = burst if init is None else min(init, burst)
         self._stamp = sim.now
         self._waiters: Deque[tuple] = deque()  # (event, amount)
-        self._wakeup: Optional[Event] = None
+        #: Pending ``call_later`` handle for the armed wake-up, if any.
+        self._wakeup: Optional[list] = None
+        self._drain_cb = self._drain
 
     @property
     def rate(self) -> float:
@@ -329,13 +331,12 @@ class TokenBucket:
             return  # paused; set_rate() will re-arm
         else:
             delay = max(deficit / self._rate, self.MIN_DELAY)
-        wakeup = self.sim.timeout(delay)
-        self._wakeup = wakeup
-        wakeup.add_callback(self._drain)
+        if self._wakeup is not None:
+            # Supersede the armed wake-up: O(1) in-place cancellation.
+            self.sim.cancel(self._wakeup)
+        self._wakeup = self.sim.call_later(delay, self._drain_cb)
 
-    def _drain(self, wakeup: Event) -> None:
-        if wakeup is not self._wakeup:
-            return  # superseded by a set_rate() re-arm
+    def _drain(self) -> None:
         self._wakeup = None
         self._settle()
         while self._waiters and self._tokens + self.EPSILON >= self._waiters[0][1]:

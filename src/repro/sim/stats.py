@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_left
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "Counter",
@@ -199,16 +200,31 @@ class RateMeter:
         self.keep = keep
         self._cur_start = 0.0
         self._cur_sum = 0.0
-        self._history: List[float] = []
+        self._history: Deque[float] = deque(maxlen=keep)
         self.total = 0.0
 
     def _roll(self, now: float) -> None:
-        while now >= self._cur_start + self.window:
-            self._history.append(self._cur_sum)
-            if len(self._history) > self.keep:
-                self._history.pop(0)
-            self._cur_sum = 0.0
-            self._cur_start += self.window
+        """Close every complete window before ``now``.
+
+        The advance is arithmetic, not a per-window loop: a meter first
+        queried after a long idle gap (e.g. a drained link probed at the
+        end of a run) pays O(keep), not O(gap / window).
+        """
+        gap = int((now - self._cur_start) // self.window)
+        if gap <= 0:
+            return
+        history = self._history
+        if gap > self.keep:
+            # The current sum and everything retained would be pushed out
+            # by the empty windows in between.
+            history.clear()
+            history.extend([0.0] * self.keep)
+        else:
+            history.append(self._cur_sum)
+            if gap > 1:
+                history.extend([0.0] * (gap - 1))
+        self._cur_sum = 0.0
+        self._cur_start += gap * self.window
 
     def record(self, now: float, amount: float = 1.0) -> None:
         self._roll(now)

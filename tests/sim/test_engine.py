@@ -172,11 +172,55 @@ def test_process_yielding_non_event_raises():
     sim = Simulator()
 
     def bad(sim):
-        yield 42
+        yield "not an event"
 
     sim.process(bad(sim))
     with pytest.raises(SimulationError):
         sim.run()
+
+
+def test_bare_number_yield_is_a_timeout():
+    """Fast path: ``yield <float|int>`` suspends like ``yield timeout()``."""
+    sim = Simulator()
+
+    def proc(sim):
+        yield 5
+        assert sim.now == 5.0
+        got = yield 2.5
+        assert got is None
+        return sim.now
+
+    assert sim.run_process(proc(sim)) == 7.5
+
+
+def test_bare_negative_yield_raises_in_process():
+    sim = Simulator()
+
+    def bad(sim):
+        yield -1.0
+
+    sim.process(bad(sim))
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_bare_yield_orders_like_timeout_yield():
+    """Equal-time bare and event timeouts fire in scheduling order."""
+    sim = Simulator()
+    log = []
+
+    def bare(sim):
+        yield 5.0
+        log.append("bare")
+
+    def evented(sim):
+        yield sim.timeout(5.0)
+        log.append("evented")
+
+    sim.process(bare(sim))
+    sim.process(evented(sim))
+    sim.run()
+    assert log == ["bare", "evented"]
 
 
 def test_interrupt_delivers_cause():
