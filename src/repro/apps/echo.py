@@ -48,7 +48,8 @@ class SharedEchoServer:
         if self._running:
             return
         self._running = True
-        self.sim.process(self._loop(), name=f"shared-echo{self.core.index}")
+        self._proc = self.sim.process(
+            self._loop(), name=f"shared-echo{self.core.index}")
 
     def stop(self) -> None:
         self._running = False
@@ -95,7 +96,8 @@ class EchoServer:
         if self._running:
             return
         self._running = True
-        self.sim.process(self._loop(), name=f"echo-{self.flow.name}")
+        self._proc = self.sim.process(
+            self._loop(), name=f"echo-{self.flow.name}")
 
     def stop(self) -> None:
         self._running = False

@@ -71,7 +71,7 @@ class LineFsServer:
             return
         self._running = True
         self.endpoint.start()
-        self.sim.process(self._loop(), name="linefs-server")
+        self._proc = self.sim.process(self._loop(), name="linefs-server")
 
     def stop(self) -> None:
         self._running = False

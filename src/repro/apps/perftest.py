@@ -51,7 +51,7 @@ class RdmaSink:
             return
         self._running = True
         self.endpoint.start()
-        self.sim.process(self._loop(), name="rdma-sink")
+        self._proc = self.sim.process(self._loop(), name="rdma-sink")
 
     def _loop(self):
         while self._running:

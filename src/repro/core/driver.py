@@ -83,7 +83,9 @@ class CeioDriver:
             elif (record.packet.last_in_message
                   or self._release_accum[fid] >= self.config.release_batch):
                 boundary_flows.add(fid)
-        for fid in boundary_flows:
+        # Sorted: replenish order reaches the credit controller and the
+        # upgrade path, and set order is hash order (D103).
+        for fid in sorted(boundary_flows):
             self._replenish(fid)
 
     def _replenish(self, fid: int) -> None:
@@ -139,7 +141,8 @@ class CeioDriver:
                 state.draining = False
                 self.runtime.on_drain_complete(state)
 
-        self.sim.process(drain(self.sim), name=f"drain-f{state.flow.flow_id}")
+        state.drain_proc = self.sim.process(
+            drain(self.sim), name=f"drain-f{state.flow.flow_id}")
 
     def _batch_size(self, flow: Flow) -> int:
         """Packets per DMA-read batch: latency-sized for CPU-involved

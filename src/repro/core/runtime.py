@@ -19,7 +19,6 @@ Wiring (Figure 5):
 from __future__ import annotations
 
 import itertools
-import random
 from typing import Dict, List, Optional
 
 from ..hw import DmaWrite, Host
@@ -41,13 +40,16 @@ _keys = itertools.count(10**9)  # distinct from base-class key space
 class CeioFlowState:
     """Per-flow runtime state beyond the generic FlowRx."""
 
-    __slots__ = ("flow", "swring", "draining", "degraded_since",
-                 "cca_marking", "inactive", "pinned_slow")
+    __slots__ = ("flow", "swring", "draining", "drain_proc",
+                 "degraded_since", "cca_marking", "inactive", "pinned_slow")
 
     def __init__(self, flow: Flow):
         self.flow = flow
         self.swring = SwRing(flow.flow_id)
         self.draining = False
+        #: Handle of the in-flight background drain process (owner: the
+        #: driver), kept so teardown/diagnostics can interrupt it.
+        self.drain_proc = None
         self.degraded_since: Optional[float] = None
         self.cca_marking = False
         self.inactive = False
@@ -87,7 +89,9 @@ class CeioArchitecture(IOArchitecture):
                                 period=self.config.reactivation_period,
                                 name="ceio-react")
         self._reactivation_cycle: List[int] = []
-        self._mark_rng = random.Random(0xCE10)
+        #: Slow-path RED marking stream off the seeded registry (was a
+        #: fixed-seed Random that ignored ``--seed``).
+        self._mark_rng = host.rng.stream("ceio.mark")
 
     # ------------------------------------------------------------------
     # Flow lifecycle
@@ -241,8 +245,10 @@ class CeioArchitecture(IOArchitecture):
     def _control_tick(self) -> None:
         # Flows with data-path activity since the last tick are handled at
         # full rate (their counters sit hot in the ARM cache)...
+        # Sorted: inspection order feeds the event calendar, and set order
+        # is hash order (D103).
         touched, self._touched = self._touched, set()
-        for fid in touched:
+        for fid in sorted(touched):
             state = self.states.get(fid)
             if state is not None:
                 self._inspect_flow(fid, state)

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from ..sim import Simulator, StatRegistry
+from typing import Optional
+
+from ..sim import RngRegistry, Simulator, StatRegistry
 from .cache import build_llc
 from .config import HostConfig
 from .cpu import CpuComplex
@@ -25,10 +27,16 @@ class Host:
     """
 
     def __init__(self, sim: Simulator, config: HostConfig = None,
-                 name: str = "host"):
+                 name: str = "host", rng: Optional[RngRegistry] = None):
         self.sim = sim
         self.config = config or HostConfig()
         self.name = name
+        #: Named RNG streams for host-side stochastic components (ECN
+        #: marking in the I/O architectures). The testbed passes its
+        #: seeded registry here so ``--seed`` perturbs every stream; the
+        #: standalone default keeps direct ``Host(sim)`` construction
+        #: deterministic.
+        self.rng = rng if rng is not None else RngRegistry(0)
         self.stats = StatRegistry()
         self.llc = build_llc(self.config.cache)
         self.dram = Dram(sim, self.config.dram)

@@ -106,7 +106,11 @@ class DmaEngine:
         yield from self.pcie.acquire_write_credits(write.nbytes)
         yield from self.pcie.write_issue(write.nbytes)
         self.writes_issued.add(1)
-        self.sim.process(self._land(write), name="dma-land")
+        # Fire-and-forget by design: one short-lived process per posted
+        # write in the DMA hot path; a crash still propagates because an
+        # unwaited Process re-raises. Keeping per-write handles would
+        # grow without bound.
+        self.sim.process(self._land(write), name="dma-land")  # repro: noqa=D105
 
     def _land(self, write: DmaWrite):
         yield self.pcie.write_latency_event()

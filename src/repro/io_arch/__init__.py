@@ -18,7 +18,7 @@ __all__ = [
 #: Registry used by experiments to select architectures by name. CEIO
 #: registers itself on import of :mod:`repro.core.runtime` (which depends
 #: on this package, so it cannot be imported from here).
-ARCHITECTURES = {
+ARCHITECTURES = {  # repro: noqa=D106 -- registry, mutated at import only
     "baseline": LegacyDdioArch,
     "hostcc": HostccArch,
     "shring": ShringArch,

@@ -15,7 +15,6 @@ conditions.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 
 from ..hw import Host
@@ -61,9 +60,13 @@ class HostccArch(IOArchitecture):
                                   burst=64 * 1024, name="hostcc.pacer")
         self._max_rate = rate
         self._congested = False
-        self._rng = random.Random(0x4C43)
+        #: ECN-marking stream off the experiment's seeded registry, so
+        #: ``--seed`` perturbs HostCC's marking like every other
+        #: stochastic component (it used to mint a fixed-seed Random).
+        self._rng = host.rng.stream("hostcc.ecn")
         self.congestion_events = Counter("hostcc.congestion_events")
-        self.sim.process(self._control_loop(), name="hostcc-ctl")
+        self._ctl_proc = self.sim.process(self._control_loop(),
+                                          name="hostcc-ctl")
 
     @property
     def dma_rate(self) -> float:

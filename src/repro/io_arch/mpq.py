@@ -55,7 +55,8 @@ class MpqArch(IOArchitecture):
         self.demotions = Counter("mpq.demotions")
         self.high_packets = Counter("mpq.high_packets")
         self.low_packets = Counter("mpq.low_packets")
-        self.sim.process(self._aging_loop(), name="mpq-aging")
+        self._aging_proc = self.sim.process(self._aging_loop(),
+                                            name="mpq-aging")
 
     # ------------------------------------------------------------------
     def priority(self, flow_id: int) -> int:

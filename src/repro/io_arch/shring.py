@@ -16,7 +16,6 @@ and LLC misses are (almost) eliminated. Two costs reproduced here (§2.3):
 
 from __future__ import annotations
 
-import random
 from collections import deque
 from dataclasses import dataclass
 from typing import List
@@ -59,7 +58,17 @@ class ShringArch(IOArchitecture):
         #: consumable by ANY core (that is the point of ShRing — cores
         #: drain a common ring, paying a per-packet dispatch cost).
         self._shared_ring = deque()
-        self._rng = random.Random(0x5438)
+        #: Guard-band marking streams off the seeded registry (was one
+        #: fixed-seed Random that ignored ``--seed``). Per *flow*: a
+        #: shared stream correlates the mark decisions of concurrent
+        #: flows, and one unlucky draw window then marks every sender at
+        #: once — a synchronized CCA backoff the real ShRing (independent
+        #: per-packet coin flips at distinct NIC queues) does not exhibit.
+        #: Streams are keyed by registration ordinal, not flow_id: the
+        #: global flow-id counter depends on what ran earlier in the
+        #: process, and the draws must not.
+        self._guard_rng = host.rng
+        self._guard_streams: dict = {}
         self.ring_full_drops = Counter("shring.ring_full_drops")
         self.guard_marks = Counter("shring.guard_marks")
 
@@ -75,6 +84,14 @@ class ShringArch(IOArchitecture):
         # Per-flow accounting is unconstrained; the shared ring is the bound.
         return self.config.ring_entries
 
+    def register_flow(self, flow: Flow):
+        rx = super().register_flow(flow)
+        if flow.flow_id not in self._guard_streams:
+            ordinal = len(self._guard_streams)
+            self._guard_streams[flow.flow_id] = self._guard_rng.stream(
+                f"shring.guard.{ordinal}")
+        return rx
+
     def app_overhead_cycles(self) -> float:
         return self.config.dispatch_cycles
 
@@ -87,7 +104,7 @@ class ShringArch(IOArchitecture):
         if self._dedup(packet, rx):
             return
         self._shared_in_use += 1
-        guard = self._guard_mark()
+        guard = self._guard_mark(packet.flow.flow_id)
         if guard:
             self.guard_marks.add(1)
         yield from self._dma_to_host(packet, rx, ddio=True, extra_mark=guard)
@@ -106,7 +123,7 @@ class ShringArch(IOArchitecture):
             batch.append(self._shared_ring.popleft())
         return batch
 
-    def _guard_mark(self) -> bool:
+    def _guard_mark(self, flow_id: int) -> bool:
         """Probabilistic ECN: ramps from 0 at the guard level to 1 at full."""
         g = self.config.ecn_guard
         if g >= 1.0:
@@ -114,7 +131,7 @@ class ShringArch(IOArchitecture):
         fill = self._shared_in_use / self.config.ring_entries
         if fill <= g:
             return False
-        return self._rng.random() < (fill - g) / (1.0 - g)
+        return self._guard_streams[flow_id].random() < (fill - g) / (1.0 - g)
 
     def release(self, records) -> None:
         super().release(records)

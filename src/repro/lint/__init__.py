@@ -1,0 +1,16 @@
+"""Determinism & sim-correctness static analysis (rules D101-D106).
+
+Run as ``python -m repro.lint [paths...]``; see ``docs/DETERMINISM.md``
+for the rule catalog and the suppression/baseline workflow.
+"""
+
+from .config import DEFAULT_CONFIG, LintConfig
+from .core import Finding, ModuleInfo, Rule, RULES, lint_paths, lint_source
+from .suppress import Baseline
+from . import rules  # noqa: F401  (registers the rule classes)
+
+__all__ = [
+    "DEFAULT_CONFIG", "LintConfig",
+    "Finding", "ModuleInfo", "Rule", "RULES",
+    "lint_paths", "lint_source", "Baseline",
+]

@@ -1,0 +1,117 @@
+"""``python -m repro.lint`` — CI-friendly determinism linter.
+
+Exit codes: 0 = clean (every finding suppressed or baselined), 1 = new
+findings (or stale baseline entries under ``--strict-baseline``), 2 =
+usage error. ``--format json`` emits a machine-readable report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from . import rules  # noqa: F401  (registers the rule classes)
+from .config import DEFAULT_CONFIG
+from .core import RULES, Finding, lint_paths
+from .suppress import Baseline
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Determinism & sim-correctness static analysis "
+                    "(rules D101-D106).")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--select", metavar="CODES",
+                        help="comma-separated rule codes to run "
+                             "(default: all)")
+    parser.add_argument("--baseline", metavar="PATH", default=None,
+                        help="baseline file (default: "
+                             f"{DEFAULT_CONFIG.baseline_name} if present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from current findings "
+                             "and exit 0")
+    parser.add_argument("--strict-baseline", action="store_true",
+                        help="also fail when baseline entries are stale "
+                             "(match no current finding)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    return parser
+
+
+def _load_baseline(args) -> Optional[Baseline]:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        path = Path(args.baseline)
+        if not path.exists():
+            if args.update_baseline:
+                return Baseline()
+            print(f"repro.lint: baseline {path} not found", file=sys.stderr)
+            raise SystemExit(2)
+        return Baseline.load(path)
+    default = Path(DEFAULT_CONFIG.baseline_name)
+    return Baseline.load(default) if default.exists() else Baseline()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for code, cls in sorted(RULES.items()):
+            print(f"{code}  {cls.summary}")
+        return 0
+
+    select = None
+    if args.select:
+        select = [c.strip() for c in args.select.split(",") if c.strip()]
+        unknown = sorted(set(select) - set(RULES))
+        if unknown:
+            print(f"repro.lint: unknown rule code(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+
+    findings = lint_paths(args.paths, DEFAULT_CONFIG, select)
+
+    baseline_path = Path(args.baseline or DEFAULT_CONFIG.baseline_name)
+    if args.update_baseline:
+        Baseline.save(baseline_path, findings)
+        print(f"repro.lint: wrote {len(findings)} finding(s) to "
+              f"{baseline_path}", file=sys.stderr)
+        return 0
+
+    baseline = _load_baseline(args)
+    if baseline is not None:
+        new, accepted, stale = baseline.split(findings)
+    else:
+        new, accepted, stale = list(findings), [], 0
+
+    if args.format == "json":
+        print(json.dumps({
+            "findings": [vars(f) for f in new],
+            "baselined": len(accepted),
+            "stale_baseline_entries": stale,
+        }, indent=2))
+    else:
+        for f in new:
+            print(f.render())
+        summary = (f"{len(new)} finding(s), {len(accepted)} baselined, "
+                   f"{stale} stale baseline entr"
+                   + ("y" if stale == 1 else "ies"))
+        print(f"repro.lint: {summary}", file=sys.stderr)
+
+    if new:
+        return 1
+    if stale and args.strict_baseline:
+        return 1
+    return 0

@@ -1,0 +1,62 @@
+"""Configuration for the determinism linter.
+
+The rules are scoped by *package*, not by path: ``src/repro/io_arch/...``
+is the dotted module ``repro.io_arch...`` regardless of where the checkout
+lives. Two scopes matter:
+
+- the **repro package** (everything under ``src/repro``) — rules about
+  how production code uses the kernel apply here;
+- the **sim-side packages** — the subset of the repro package that runs
+  *inside* a simulation and therefore must be bit-reproducible. Host-side
+  orchestration (``repro.runner``, ``repro.experiments``, ``repro.lint``
+  itself) may read wall clocks and use OS randomness; the simulated world
+  must not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["LintConfig", "DEFAULT_CONFIG"]
+
+#: Packages whose modules execute inside the simulated world. D102/D103/
+#: D105/D106 apply only here.
+SIM_PACKAGES: Tuple[str, ...] = (
+    "repro.sim",
+    "repro.hw",
+    "repro.net",
+    "repro.io_arch",
+    "repro.core",
+    "repro.apps",
+    "repro.frameworks",
+    "repro.workloads",
+)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    #: Sim-side packages (prefix match on dotted module names).
+    sim_packages: Tuple[str, ...] = SIM_PACKAGES
+    #: Packages exempt from the wall-clock rule even if listed as
+    #: sim-side in a future config: the runner runs on the host side of
+    #: the wall (progress timestamps, cache mtimes) by design.
+    wallclock_exempt: Tuple[str, ...] = ("repro.runner", "repro.experiments")
+    #: The one module allowed to construct raw RNGs.
+    rng_module: str = "repro.sim.rng"
+    #: Default baseline filename, resolved against the working directory.
+    baseline_name: str = ".repro-lint-baseline.json"
+
+    def is_repro(self, package: str) -> bool:
+        return package == "repro" or package.startswith("repro.")
+
+    def is_sim_side(self, package: str) -> bool:
+        return any(package == p or package.startswith(p + ".")
+                   for p in self.sim_packages)
+
+    def is_wallclock_exempt(self, package: str) -> bool:
+        return any(package == p or package.startswith(p + ".")
+                   for p in self.wallclock_exempt)
+
+
+DEFAULT_CONFIG = LintConfig()

@@ -1,0 +1,7 @@
+"""Rule modules. Importing this package registers every rule."""
+
+from . import rng  # noqa: F401
+from . import wallclock  # noqa: F401
+from . import ordering  # noqa: F401
+from . import engine_idioms  # noqa: F401
+from . import state  # noqa: F401

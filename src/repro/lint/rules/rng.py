@@ -1,0 +1,97 @@
+"""D101 — all randomness flows through the RngRegistry.
+
+A component that builds its own ``random.Random`` (worse: seeds the
+global ``random`` module, or calls ``numpy.random``) silently ignores the
+experiment's ``--seed``: sweeps stop being perturbable, and the runner's
+content-addressed cache can no longer distinguish runs that should
+differ. The only module allowed to touch the raw generators is
+``repro.sim.rng``; everything else draws *named streams* from an
+:class:`~repro.sim.rng.RngRegistry` (``testbed.rng.stream("name")``).
+
+Annotating with ``random.Random`` is fine — only *calls* are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Set
+
+from ..core import Finding, ModuleInfo, Rule, attr_chain, register
+
+__all__ = ["RngDiscipline"]
+
+#: Constructors that mint an independent generator.
+_RANDOM_CLASSES = {"Random", "SystemRandom"}
+
+
+@register
+class RngDiscipline(Rule):
+    code = "D101"
+    summary = ("no raw RNG construction or random-module calls outside "
+               "repro.sim.rng — draw named RngRegistry streams")
+
+    def applies(self, module: ModuleInfo) -> bool:
+        return (self.config.is_repro(module.package)
+                and module.package != self.config.rng_module)
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        random_aliases: Set[str] = set()
+        numpy_aliases: Set[str] = set()
+        # Names bound directly to random-module constructors/functions by
+        # ``from random import ...``; maps local name -> original name.
+        from_random: Dict[str, str] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        random_aliases.add(alias.asname or "random")
+                    elif alias.name in ("numpy", "numpy.random"):
+                        numpy_aliases.add(
+                            (alias.asname or alias.name).split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    for alias in node.names:
+                        from_random[alias.asname or alias.name] = alias.name
+                elif node.module in ("numpy", "numpy.random"):
+                    for alias in node.names:
+                        if node.module == "numpy.random" \
+                                or alias.name == "random":
+                            from_random[alias.asname or alias.name] = \
+                                f"numpy.random.{alias.name}"
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attr_chain(node.func)
+            if chain is None:
+                continue
+            parts = chain.split(".")
+            root = parts[0]
+            if root in random_aliases and len(parts) > 1:
+                what = "construction of random." + parts[-1] \
+                    if parts[-1] in _RANDOM_CLASSES \
+                    else f"call to random.{'.'.join(parts[1:])}"
+                yield module.finding(
+                    node, self.code,
+                    f"{what} outside repro.sim.rng — draw a named stream "
+                    "from the RngRegistry instead")
+            elif len(parts) == 1 and root in from_random:
+                origin = from_random[root]
+                if origin in _RANDOM_CLASSES or "." in origin:
+                    yield module.finding(
+                        node, self.code,
+                        f"call to {origin} (imported as {root}) outside "
+                        "repro.sim.rng — draw a named stream from the "
+                        "RngRegistry instead")
+                else:
+                    yield module.finding(
+                        node, self.code,
+                        f"call to random.{origin} (imported as {root}) "
+                        "outside repro.sim.rng — draw a named stream from "
+                        "the RngRegistry instead")
+            elif (root in numpy_aliases and len(parts) >= 2
+                  and parts[1] == "random"):
+                yield module.finding(
+                    node, self.code,
+                    f"call to {chain} — numpy randomness bypasses the "
+                    "RngRegistry seed discipline entirely")

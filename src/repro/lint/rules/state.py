@@ -1,0 +1,93 @@
+"""D106 — no mutable defaults or module-level mutable state sim-side.
+
+A mutable default argument is shared by every call — per-run state leaks
+across simulations that should be independent. Module-level mutable
+containers are worse in this codebase: the runner executes many
+simulation points inside one worker process, so module state carries
+results of one point into the next and breaks the cache's assumption
+that (fn, params, seed) determines the output. Put state on an object
+whose lifetime is one simulation, or make the module-level value a
+tuple/frozenset. Deliberate import-time registries can carry a justified
+``# repro: noqa=D106``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..core import Finding, ModuleInfo, Rule, register
+
+__all__ = ["MutableState"]
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                     ast.DictComp, ast.SetComp)
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "deque",
+                  "defaultdict", "OrderedDict", "Counter"}
+
+
+def _mutable_kind(node: ast.AST) -> Optional[str]:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return type(node).__name__.replace("Comp", " comprehension").lower()
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in _MUTABLE_CALLS:
+        return f"{node.func.id}()"
+    return None
+
+
+@register
+class MutableState(Rule):
+    code = "D106"
+    summary = ("no mutable default arguments or module-level mutable "
+               "state in sim-side packages")
+
+    def applies(self, module: ModuleInfo) -> bool:
+        return self.config.is_sim_side(module.package)
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                args = node.args
+                for default in list(args.defaults) + \
+                        [d for d in args.kw_defaults if d is not None]:
+                    kind = _mutable_kind(default)
+                    if kind is not None:
+                        name = getattr(node, "name", "<lambda>")
+                        yield module.finding(
+                            default, self.code,
+                            f"mutable default argument ({kind}) in "
+                            f"{name}() is shared across calls — default "
+                            "to None and create per call")
+        yield from self._module_state(module, module.tree.body)
+
+    def _module_state(self, module: ModuleInfo,
+                      body) -> Iterator[Finding]:
+        for stmt in body:
+            if isinstance(stmt, (ast.If, ast.Try)):
+                # One level deep: TYPE_CHECKING / import-fallback guards.
+                for inner in ([stmt.body, stmt.orelse]
+                              + ([h.body for h in stmt.handlers]
+                                 if isinstance(stmt, ast.Try) else [])):
+                    yield from self._module_state(module, inner)
+                continue
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            else:
+                continue
+            kind = _mutable_kind(value)
+            if kind is None:
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                name = target.id
+                if name.startswith("__") and name.endswith("__"):
+                    continue  # __all__ and friends: convention, not state
+                yield module.finding(
+                    stmt, self.code,
+                    f"module-level mutable state {name!r} ({kind}) "
+                    "outlives any single simulation — scope it to an "
+                    "object created per run")

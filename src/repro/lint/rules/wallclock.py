@@ -1,0 +1,98 @@
+"""D102 — no wall-clock reads inside the simulated world.
+
+Simulated components must take time from ``sim.now`` only. A
+``time.time()``/``datetime.now()`` call inside a sim-side package makes
+results depend on the host's clock — runs stop being reproducible and
+the result cache silently serves stale answers. The host-side
+orchestration packages (``repro.runner``, ``repro.experiments``) are
+exempt by config: progress timestamps and cache metadata are *supposed*
+to be wall-clock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Set
+
+from ..core import Finding, ModuleInfo, Rule, attr_chain, register
+
+__all__ = ["WallClock"]
+
+#: time-module functions that read the host clock.
+_TIME_FNS = frozenset({
+    "time", "monotonic", "perf_counter", "process_time", "thread_time",
+    "time_ns", "monotonic_ns", "perf_counter_ns", "process_time_ns",
+    "thread_time_ns", "localtime", "gmtime", "ctime", "asctime",
+})
+
+#: datetime constructors that read the host clock, as attr suffixes.
+_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+
+
+@register
+class WallClock(Rule):
+    code = "D102"
+    summary = ("no wall-clock (time.time / datetime.now) inside sim-side "
+               "packages — simulated components take time from sim.now")
+
+    def applies(self, module: ModuleInfo) -> bool:
+        return (self.config.is_sim_side(module.package)
+                and not self.config.is_wallclock_exempt(module.package))
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        time_aliases: Set[str] = set()
+        datetime_mod_aliases: Set[str] = set()
+        #: Names bound to datetime.datetime / datetime.date classes.
+        datetime_cls_aliases: Set[str] = set()
+        from_time: Dict[str, str] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        time_aliases.add(alias.asname or "time")
+                    elif alias.name == "datetime":
+                        datetime_mod_aliases.add(alias.asname or "datetime")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _TIME_FNS:
+                            from_time[alias.asname or alias.name] = alias.name
+                elif node.module == "datetime":
+                    for alias in node.names:
+                        if alias.name in ("datetime", "date"):
+                            datetime_cls_aliases.add(
+                                alias.asname or alias.name)
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attr_chain(node.func)
+            if chain is None:
+                continue
+            parts = chain.split(".")
+            root = parts[0]
+            if (len(parts) == 2 and root in time_aliases
+                    and parts[1] in _TIME_FNS):
+                yield module.finding(
+                    node, self.code,
+                    f"wall-clock call {chain}() in a sim-side module — "
+                    "use sim.now (simulated nanoseconds) instead")
+            elif len(parts) == 1 and root in from_time:
+                yield module.finding(
+                    node, self.code,
+                    f"wall-clock call time.{from_time[root]}() (imported "
+                    f"as {root}) in a sim-side module — use sim.now "
+                    "instead")
+            elif (len(parts) == 3 and root in datetime_mod_aliases
+                    and parts[1] in ("datetime", "date")
+                    and parts[2] in _DATETIME_FNS):
+                yield module.finding(
+                    node, self.code,
+                    f"wall-clock call {chain}() in a sim-side module — "
+                    "simulation output must not embed host timestamps")
+            elif (len(parts) == 2 and root in datetime_cls_aliases
+                    and parts[1] in _DATETIME_FNS):
+                yield module.finding(
+                    node, self.code,
+                    f"wall-clock call {chain}() in a sim-side module — "
+                    "simulation output must not embed host timestamps")

@@ -43,7 +43,7 @@ class Testbed:
                  seed: int = 0):
         self.sim = Simulator()
         self.rng = RngRegistry(seed)
-        self.host = Host(self.sim, host_config)
+        self.host = Host(self.sim, host_config, rng=self.rng)
         self.fabric_config = fabric_config or FabricConfig()
         self.dctcp_config = dctcp_config or DctcpConfig()
         self.port = SwitchPort(

@@ -31,7 +31,7 @@ class Link:
         self._queue = Store(sim, name=f"{name}.q")
         self.tx_packets = Counter(f"{name}.tx")
         self.tx_bytes = Counter(f"{name}.tx_bytes")
-        sim.process(self._egress(), name=f"{name}-egress")
+        self._egress_proc = sim.process(self._egress(), name=f"{name}-egress")
 
     def send(self, packet) -> None:
         """Enqueue a packet for transmission (non-blocking, unbounded —
@@ -75,7 +75,7 @@ class SwitchPort:
         self.tx_packets = Counter(f"{name}.tx")
         self.marked_packets = Counter(f"{name}.marked")
         self.dropped_packets = Counter(f"{name}.dropped")
-        sim.process(self._egress(), name=f"{name}-egress")
+        self._egress_proc = sim.process(self._egress(), name=f"{name}-egress")
 
     @property
     def queued_bytes(self) -> int:

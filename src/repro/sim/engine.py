@@ -35,6 +35,24 @@ by that sequence number. Fast paths change *what is allocated*, never
 the (time, sequence) order, so identical seeds produce identical event
 ordering on either idiom.
 
+Sanitizer (debug) mode
+----------------------
+``Simulator(debug=True)`` — or setting ``REPRO_SIM_DEBUG=1`` in the
+environment — turns on a dynamic sanitizer (see ``docs/DETERMINISM.md``
+for the full contract). The release hot path is unchanged and stays
+allocation-free; when the sanitizer is on the kernel additionally
+
+- asserts monotonic event time in the run loop (and rejects NaN times),
+- rejects NaN timeout delays at every scheduling entry point (negative
+  delays are rejected unconditionally, debug or not),
+- poisons sole-waiter :class:`Timeout` objects after they fire instead
+  of recycling them, so a process that illegally retains one across its
+  resume gets a hard error instead of silent state aliasing,
+- detects events triggered and callbacks scheduled after
+  :meth:`Simulator.close` (run teardown), and
+- tracks every spawned :class:`Process` so :meth:`Simulator.close`
+  can report never-terminated processes at shutdown.
+
 Example
 -------
 >>> sim = Simulator()
@@ -52,6 +70,7 @@ Example
 
 from __future__ import annotations
 
+import os
 from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
@@ -85,6 +104,9 @@ class Interrupt(Exception):
 
 #: Sentinel distinguishing "not yet triggered" from a ``None`` event value.
 _PENDING = object()
+
+#: Sanitizer poison value: a recycled Timeout retained across a resume.
+_RECYCLED = object()
 
 #: Sentinel target for a process suspended on a bare-float timeout.
 _BARE = object()
@@ -136,6 +158,10 @@ class Event:
     def value(self) -> Any:
         if self._value is _PENDING:
             raise SimulationError("event value is not yet available")
+        if self._value is _RECYCLED:
+            raise SimulationError(
+                "timeout was recycled by the kernel: a timeout yielded to "
+                "the kernel must not be retained across the resume")
         return self._value
 
     # -- triggering ------------------------------------------------------
@@ -143,8 +169,11 @@ class Event:
         """Trigger the event successfully, delivering ``value`` to waiters."""
         if self._value is not _PENDING:
             raise SimulationError("event has already been triggered")
-        self._value = value
         sim = self.sim
+        if sim._debug and sim._closed:
+            raise SimulationError(
+                f"{self!r} triggered after Simulator.close()")
+        self._value = value
         seq = sim._seq + 1
         sim._seq = seq
         heappush(sim._queue, [sim._now, seq, self._process, _EMPTY])
@@ -156,9 +185,12 @@ class Event:
             raise SimulationError("event has already been triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
+        sim = self.sim
+        if sim._debug and sim._closed:
+            raise SimulationError(
+                f"{self!r} triggered after Simulator.close()")
         self._ok = False
         self._value = exception
-        sim = self.sim
         seq = sim._seq + 1
         sim._seq = seq
         heappush(sim._queue, [sim._now, seq, self._process, _EMPTY])
@@ -173,6 +205,14 @@ class Event:
         if self.callbacks is None:
             # Already fired: deliver at the current step.
             sim = self.sim
+            if sim._debug:
+                if self._value is _RECYCLED:
+                    raise SimulationError(
+                        "waiting on a timeout the kernel already recycled")
+                if sim._closed:
+                    raise SimulationError(
+                        f"callback scheduled on {self!r} after "
+                        "Simulator.close()")
             seq = sim._seq + 1
             sim._seq = seq
             heappush(sim._queue, [sim._now, seq, fn, (self,)])
@@ -224,6 +264,16 @@ class Timeout(Event):
             # generator runs inside this call and reads the value before
             # the reset below.
             callbacks[0](self)
+            if self.sim._debug:
+                # Sanitizer: poison instead of recycling, so a process
+                # that retained this timeout across its resume trips a
+                # hard error on the next value/wait instead of silently
+                # aliasing a reused instance.
+                self._value = _RECYCLED
+                self._ok = True
+                self._delayed_value = None
+                self._armed = False
+                return
             self._value = _PENDING
             self._ok = True
             self._delayed_value = None
@@ -270,6 +320,11 @@ class Process(Event):
         self._resume_cb = self._resume
         self._bare_cb = self._bare_resume
         # Kick off on the next simulation step.
+        if sim._debug:
+            if sim._closed:
+                raise SimulationError(
+                    f"process {self.name!r} spawned after Simulator.close()")
+            sim._procs.append(self)
         seq = sim._seq + 1
         sim._seq = seq
         heappush(sim._queue, [sim._now, seq, self._start, _EMPTY])
@@ -340,6 +395,10 @@ class Process(Event):
                     SimulationError(f"negative timeout delay: {target!r}"))
                 return
             sim = self.sim
+            if sim._debug and target != target:
+                self._step_throw(
+                    SimulationError(f"NaN timeout delay in {self.name!r}"))
+                return
             seq = sim._seq + 1
             sim._seq = seq
             entry = [sim._now + target, seq, self._bare_cb, _EMPTY]
@@ -368,6 +427,10 @@ class Process(Event):
                     SimulationError(f"negative timeout delay: {target!r}"))
                 return
             sim = self.sim
+            if sim._debug and target != target:
+                self._step_throw(
+                    SimulationError(f"NaN timeout delay in {self.name!r}"))
+                return
             seq = sim._seq + 1
             sim._seq = seq
             entry = [sim._now + target, seq, self._bare_cb, _EMPTY]
@@ -474,16 +537,56 @@ class Simulator:
     scheduling order, which is what makes runs deterministic.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, debug: Optional[bool] = None) -> None:
+        if debug is None:
+            debug = os.environ.get("REPRO_SIM_DEBUG", "") not in ("", "0")
         self._now: float = 0.0
         self._queue: List[list] = []  # heap of [time, seq, fn, args]
         self._seq = 0
         self._timeout_pool: List[Timeout] = []
+        #: Sanitizer mode (see module docstring). Checked with a plain
+        #: attribute load on a handful of scheduling paths; never causes
+        #: an allocation when off.
+        self._debug = debug
+        self._closed = False
+        #: Every process ever spawned (debug mode only) so close() can
+        #: report the never-terminated ones.
+        self._procs: List[Process] = []
 
     @property
     def now(self) -> float:
         """Current simulated time in nanoseconds."""
         return self._now
+
+    @property
+    def debug(self) -> bool:
+        """Whether the dynamic sanitizer is on for this simulator."""
+        return self._debug
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- sanitizer teardown ----------------------------------------------
+    def alive_processes(self) -> List[Process]:
+        """Never-terminated processes spawned so far (debug mode only;
+        always empty in release mode, which does not track processes)."""
+        return [p for p in self._procs if p.is_alive]
+
+    def close(self) -> List[Process]:
+        """Tear the simulator down and return the leak report.
+
+        After ``close()`` a debug-mode simulator rejects every further
+        scheduling action (event triggers, timeouts, process spawns,
+        ``call_later``/``call_at``, ``run``) with :class:`SimulationError`
+        — catching components that keep scheduling work past the end of
+        an experiment. The returned list contains the never-terminated
+        processes at shutdown (empty in release mode). Closing twice is
+        harmless.
+        """
+        leaked = self.alive_processes()
+        self._closed = True
+        return leaked
 
     # -- event creation ---------------------------------------------------
     def event(self) -> Event:
@@ -496,6 +599,8 @@ class Simulator:
         Prefer ``yield <delay>`` inside processes when the event object is
         not needed — it allocates nothing.
         """
+        if self._debug:
+            self._debug_check_delay(delay)
         pool = self._timeout_pool
         if pool:
             if delay < 0:
@@ -528,6 +633,8 @@ class Simulator:
         if when < self._now:
             raise SimulationError(
                 f"call_at({when}) is in the past (now={self._now})")
+        if self._debug:
+            self._debug_check_delay(when - self._now)
         seq = self._seq + 1
         self._seq = seq
         entry = [when, seq, fn, args]
@@ -539,6 +646,8 @@ class Simulator:
         accepted by :meth:`cancel`. Allocation-free: no Event, no closure."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay!r}")
+        if self._debug:
+            self._debug_check_delay(delay)
         seq = self._seq + 1
         self._seq = seq
         entry = [self._now + delay, seq, fn, args]
@@ -558,6 +667,15 @@ class Simulator:
         """Back-compat alias for :meth:`call_later`."""
         return self.call_later(delay, fn, *args)
 
+    # -- sanitizer checks -------------------------------------------------
+    def _debug_check_delay(self, delay: float) -> None:
+        """Debug-only scheduling guard: closed simulator, NaN delay."""
+        if self._closed:
+            raise SimulationError(
+                "scheduling a callback after Simulator.close()")
+        if delay != delay:
+            raise SimulationError("NaN delay scheduled on the calendar")
+
     # -- execution ---------------------------------------------------------
     def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
         """Schedule ``event._process`` ``delay`` ns from now (internal)."""
@@ -573,6 +691,9 @@ class Simulator:
     def step(self) -> None:
         """Process exactly one scheduled event."""
         entry = heappop(self._queue)
+        if self._debug and not entry[0] >= self._now:
+            raise SimulationError(
+                f"event time went backwards: {entry[0]!r} < {self._now!r}")
         self._now = entry[0]
         args = entry[3]
         if args:
@@ -587,6 +708,9 @@ class Simulator:
         even if the last event fires earlier, so rate computations based on
         ``sim.now`` are well-defined.
         """
+        if self._debug:
+            self._run_debug(until)
+            return
         queue = self._queue
         pop = heappop
         if until is None:
@@ -615,6 +739,33 @@ class Simulator:
             else:
                 entry[2]()
         if self._now < until:
+            self._now = until
+
+    def _run_debug(self, until: Optional[float]) -> None:
+        """Sanitizer run loop: same semantics as :meth:`run`, plus a
+        monotonic-time assertion (which also rejects NaN event times) on
+        every entry popped from the calendar."""
+        if self._closed:
+            raise SimulationError("run() after Simulator.close()")
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"run(until={until}) is in the past (now={self._now})")
+        queue = self._queue
+        while queue:
+            when = queue[0][0]
+            if not when >= self._now:
+                raise SimulationError(
+                    f"event time went backwards: {when!r} < {self._now!r}")
+            if until is not None and when > until:
+                break
+            entry = heappop(queue)
+            self._now = when
+            args = entry[3]
+            if args:
+                entry[2](*args)
+            else:
+                entry[2]()
+        if until is not None and self._now < until:
             self._now = until
 
     def run_process(self, generator: Generator[Any, Any, Any],

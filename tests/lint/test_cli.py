@@ -1,0 +1,226 @@
+"""Suppression, baseline handling, CLI exit codes — and the meta-test
+that keeps the repository itself lint-clean."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.lint import Baseline, lint_source
+from repro.lint.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+BAD_SIM_MODULE = textwrap.dedent("""\
+    import random
+
+    CACHE = {}
+
+    def jitter():
+        return random.random()
+""")
+
+
+def run_cli(argv):
+    """Invoke the CLI in-process; returns (exit_code, stdout_text)."""
+    import contextlib
+    import io
+
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = main(argv)
+    return code, out.getvalue()
+
+
+def write_pkg(root: Path, source: str) -> Path:
+    """Materialise ``source`` as a file inside a sim-side package tree."""
+    pkg = root / "src" / "repro" / "hw"
+    pkg.mkdir(parents=True)
+    target = pkg / "fixture.py"
+    target.write_text(source)
+    return target
+
+
+# ---------------------------------------------------------------------------
+# noqa suppression
+# ---------------------------------------------------------------------------
+
+def test_noqa_suppresses_named_code():
+    src = "CACHE = {}  # repro: noqa=D106\n"
+    assert lint_source("x.py", src, package="repro.hw.x") == []
+
+
+def test_noqa_multiple_codes_and_whitespace():
+    src = ("import random\n"
+           "RNG = random.Random(0)  # repro: noqa=D101, D106\n")
+    assert lint_source("x.py", src, package="repro.hw.x") == []
+
+
+def test_noqa_bare_suppresses_everything_on_line():
+    src = "CACHE = {}  # repro: noqa\n"
+    assert lint_source("x.py", src, package="repro.hw.x") == []
+
+
+def test_noqa_wrong_code_does_not_suppress():
+    src = "CACHE = {}  # repro: noqa=D101\n"
+    findings = lint_source("x.py", src, package="repro.hw.x")
+    assert [f.code for f in findings] == ["D106"]
+
+
+def test_noqa_only_applies_to_its_own_line():
+    src = ("FIRST = {}  # repro: noqa=D106\n"
+           "SECOND = {}\n")
+    findings = lint_source("x.py", src, package="repro.hw.x")
+    assert [(f.code, f.line) for f in findings] == [("D106", 2)]
+
+
+# ---------------------------------------------------------------------------
+# baseline
+# ---------------------------------------------------------------------------
+
+def test_baseline_split_matches_on_message_not_line():
+    findings = lint_source("x.py", BAD_SIM_MODULE, package="repro.hw.x")
+    assert len(findings) == 2
+    base = Baseline(f.key() for f in findings)
+    # Shift every line: the same findings at new positions stay accepted.
+    shifted = lint_source("x.py", "\n\n" + BAD_SIM_MODULE,
+                          package="repro.hw.x")
+    new, accepted, stale = base.split(shifted)
+    assert new == [] and len(accepted) == 2 and stale == 0
+
+
+def test_baseline_split_reports_new_and_stale():
+    findings = lint_source("x.py", BAD_SIM_MODULE, package="repro.hw.x")
+    base = Baseline(f.key() for f in findings)
+    # Only the D106 remains; the D101 entry goes stale, nothing is new.
+    remaining = lint_source("x.py", "CACHE = {}\n", package="repro.hw.x")
+    new, accepted, stale = base.split(remaining)
+    assert new == []
+    assert [f.code for f in accepted] == ["D106"]
+    assert stale == 1
+
+
+def test_baseline_is_multiset_aware():
+    # Two identical violations need two baseline entries.
+    src = ("def start(sim):\n"
+           "    sim.process(worker(sim))\n"
+           "    sim.process(worker(sim))\n")
+    findings = lint_source("x.py", src, package="repro.hw.x")
+    assert len(findings) == 2
+    assert findings[0].key() == findings[1].key()
+    base = Baseline([findings[0].key()])  # only ONE entry
+    new, accepted, stale = base.split(findings)
+    assert len(new) == 1 and len(accepted) == 1 and stale == 0
+
+
+def test_baseline_roundtrips_through_json(tmp_path):
+    findings = lint_source("x.py", BAD_SIM_MODULE, package="repro.hw.x")
+    path = tmp_path / "baseline.json"
+    Baseline.save(path, findings)
+    loaded = Baseline.load(path)
+    new, accepted, stale = loaded.split(findings)
+    assert new == [] and stale == 0 and len(accepted) == 2
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def test_cli_exit_zero_on_clean_tree(tmp_path):
+    write_pkg(tmp_path, "LIMITS = (1, 2, 3)\n")
+    code, _ = run_cli([str(tmp_path / "src")])
+    assert code == 0
+
+
+def test_cli_exit_one_and_renders_findings(tmp_path):
+    target = write_pkg(tmp_path, BAD_SIM_MODULE)
+    code, out = run_cli([str(tmp_path / "src")])
+    assert code == 1
+    assert str(target) in out
+    assert "D101" in out and "D106" in out
+
+
+def test_cli_update_baseline_then_clean(tmp_path):
+    write_pkg(tmp_path, BAD_SIM_MODULE)
+    baseline = tmp_path / "baseline.json"
+    code, _ = run_cli([str(tmp_path / "src"), "--baseline", str(baseline),
+                       "--update-baseline"])
+    assert code == 0
+    payload = json.loads(baseline.read_text())
+    assert payload["version"] == 1 and len(payload["findings"]) == 2
+    # With the baseline in place the same tree is clean...
+    code, out = run_cli([str(tmp_path / "src"), "--baseline", str(baseline)])
+    assert code == 0 and out.strip() == ""
+    # ...but a fresh finding still fails.
+    (tmp_path / "src" / "repro" / "hw" / "extra.py").write_text(
+        "PENDING = []\n")
+    code, out = run_cli([str(tmp_path / "src"), "--baseline", str(baseline)])
+    assert code == 1
+    assert "extra.py" in out
+
+
+def test_cli_strict_baseline_fails_on_stale_entries(tmp_path):
+    write_pkg(tmp_path, BAD_SIM_MODULE)
+    baseline = tmp_path / "baseline.json"
+    run_cli([str(tmp_path / "src"), "--baseline", str(baseline),
+             "--update-baseline"])
+    # Fix the violations: the baseline entries go stale.
+    (tmp_path / "src" / "repro" / "hw" / "fixture.py").write_text(
+        "LIMITS = (1,)\n")
+    code, _ = run_cli([str(tmp_path / "src"), "--baseline", str(baseline)])
+    assert code == 0  # stale alone is not an error by default
+    code, _ = run_cli([str(tmp_path / "src"), "--baseline", str(baseline),
+                       "--strict-baseline"])
+    assert code == 1
+
+
+def test_cli_json_format(tmp_path):
+    write_pkg(tmp_path, "CACHE = {}\n")
+    code, out = run_cli([str(tmp_path / "src"), "--format", "json"])
+    assert code == 1
+    payload = json.loads(out)
+    assert payload["findings"][0]["code"] == "D106"
+    assert payload["findings"][0]["line"] == 1
+
+
+def test_cli_select_unknown_code_is_usage_error(tmp_path):
+    write_pkg(tmp_path, "CACHE = {}\n")
+    code, _ = run_cli([str(tmp_path / "src"), "--select", "D999"])
+    assert code == 2
+
+
+def test_cli_list_rules():
+    code, out = run_cli(["--list-rules"])
+    assert code == 0
+    for rule_code in ("D101", "D102", "D103", "D104", "D105", "D106"):
+        assert rule_code in out
+
+
+def test_module_entry_point(tmp_path):
+    """``python -m repro.lint`` works as documented for CI."""
+    write_pkg(tmp_path, "CACHE = {}\n")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", str(tmp_path / "src"),
+         "--no-baseline"],
+        capture_output=True, text=True,
+        cwd=REPO_ROOT, env={"PYTHONPATH": str(REPO_ROOT / "src"),
+                            "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 1
+    assert "D106" in proc.stdout
+
+
+# ---------------------------------------------------------------------------
+# meta-test: the repository itself must be clean
+# ---------------------------------------------------------------------------
+
+def test_repository_is_lint_clean():
+    """Running repro.lint over src/ yields zero non-baselined findings."""
+    code, out = run_cli([str(REPO_ROOT / "src"),
+                         "--baseline",
+                         str(REPO_ROOT / ".repro-lint-baseline.json"),
+                         "--strict-baseline"])
+    assert code == 0, f"repro.lint found new violations:\n{out}"

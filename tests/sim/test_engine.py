@@ -32,7 +32,7 @@ def test_timeout_advances_clock():
 def test_timeout_negative_delay_rejected():
     sim = Simulator()
     with pytest.raises(SimulationError):
-        sim.timeout(-1)
+        sim.timeout(-1)  # repro: noqa=D104 -- the rejection under test
 
 
 def test_timeout_carries_value():
@@ -172,7 +172,7 @@ def test_process_yielding_non_event_raises():
     sim = Simulator()
 
     def bad(sim):
-        yield "not an event"
+        yield "not an event"  # repro: noqa=D104 -- the rejection under test
 
     sim.process(bad(sim))
     with pytest.raises(SimulationError):
@@ -197,7 +197,7 @@ def test_bare_negative_yield_raises_in_process():
     sim = Simulator()
 
     def bad(sim):
-        yield -1.0
+        yield -1.0  # repro: noqa=D104 -- the rejection under test
 
     sim.process(bad(sim))
     with pytest.raises(SimulationError):

@@ -32,6 +32,14 @@ from repro.sim.units import US, gbps
 
 # Digests captured on the pre-refactor kernel (commit 7ba11d2). The
 # refactored kernel must reproduce them byte for byte.
+#
+# Verified unchanged by the RNG-discipline migration (HostCC/ShRing now
+# draw from RngRegistry named streams instead of the module-level
+# ``random``): the dctcp/link trace never touches an architecture, and
+# the pinned fig09 point runs CEIO — whose quick configuration never
+# draws the ``ceio.mark`` stream and runs a single flow, so the sorted
+# set-iteration fixes are order-equivalent there too. Re-pin only for a
+# deliberate semantics change.
 GOLDEN_DCTCP_LINK = \
     "7b578ae85eab4505fe3dd1c9a3624ee49d3a576b7b2dc889175b7b4b04698914"
 GOLDEN_FIG09_POINT = \
