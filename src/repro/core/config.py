@@ -71,3 +71,25 @@ class CeioConfig:
     #: Table 3 measures 1.10-1.48x over raw RDMA write, Figure 11 shows no
     #: bandwidth loss.
     fast_path_overhead_ns: float = 180.0
+    #: Credit-loss watchdog: reclaim a flow's in-flight credits when the
+    #: flow shows demand but its credit account has been idle past the
+    #: timeout (DMA writes that consumed credits were silently lost — no
+    #: delivery will ever release them). Off = the pre-faults behaviour:
+    #: lost credits deadlock the flow forever.
+    credit_watchdog: bool = True
+    #: Idle time (no consume/release activity while packets keep arriving)
+    #: before in-flight credits are presumed lost and reclaimed.
+    credit_watchdog_timeout: float = 150 * US
+    #: Cap for the exponential backoff multiplier applied to the watchdog
+    #: timeout after each reclamation (guards against reclaiming credits
+    #: that were merely delayed, e.g. by a long PCIe stall).
+    credit_watchdog_backoff_cap: float = 8.0
+    #: SW-ring stuck-slot timeout: a phase-exclusivity barrier whose
+    #: fast-path deliveries stop making progress for this long is released
+    #: (the missing packets' descriptors were dropped; the ordering holes
+    #: they left would otherwise wedge the slow path forever). 0 disables.
+    swring_stuck_timeout: float = 150 * US
+    #: Elastic-buffer overflow fallback: when on-NIC memory is exhausted,
+    #: spill the packet to host DRAM (cache-bypassing DMA write) instead
+    #: of dropping it. Off = drop on overflow.
+    spill_to_dram: bool = True

@@ -277,6 +277,26 @@ class CreditController:
         self.reserve += taken
         return taken
 
+    def reclaim_inflight(self, flow_id: int, now: float = 0.0) -> int:
+        """Credit-loss recovery (repro.faults): presume a flow's in-flight
+        credits lost and hand them back as available credits.
+
+        A DMA write that was silently dropped consumed a credit that no
+        delivery will ever release; without this the flow's capacity leaks
+        away one lost descriptor at a time until it deadlocks. Conservation
+        holds — the credits move from ``inflight`` to ``available`` within
+        the same account. If a presumed-lost buffer *does* later release,
+        :meth:`release` clamps against the (now zero) inflight count, so
+        a mistaken reclaim can never mint credits. Returns credits moved.
+        """
+        acct = self.accounts.get(flow_id)
+        if acct is None or acct.inflight <= 0:
+            return 0
+        lost, acct.inflight = acct.inflight, 0
+        acct.available += lost
+        acct.last_activity = now
+        return lost
+
     def grant_share(self, flow_id: int, now: float = 0.0,
                     target: Optional[float] = None) -> float:
         """Top a (re)activated flow back up toward the fair share, funded by

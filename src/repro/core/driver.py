@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..net.packet import Flow
+from ..sim import Interrupt
 from ..sim.stats import Counter
 
 __all__ = ["CeioDriver"]
@@ -92,6 +93,11 @@ class CeioDriver:
         count = self._release_accum.pop(fid, 0)
         if count:
             self.runtime.credits.release(fid, count, self.sim.now)
+            # A genuine release proves the release path works again: let
+            # the credit watchdog re-arm at its base timeout.
+            state = self.runtime.states.get(fid)
+            if state is not None:
+                state.watchdog_backoff = 1.0
             # Replenishment may make the flow upgrade-eligible.
             self.runtime._touched.add(fid)
 
@@ -137,6 +143,8 @@ class CeioDriver:
                         yield sim.any_of(outstanding)
                     else:
                         yield self.runtime.poll_interval
+            except Interrupt:
+                pass  # flow unregistered mid-drain (crash teardown)
             finally:
                 state.draining = False
                 self.runtime.on_drain_complete(state)

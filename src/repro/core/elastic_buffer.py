@@ -73,6 +73,11 @@ class ElasticBufferManager:
         self.buffered_packets = Counter("ceio.slow_buffered")
         self.drained_packets = Counter("ceio.slow_drained")
         self.slow_drops = Counter("ceio.slow_drops")
+        #: On-NIC memory exhausted on a buffer attempt. The runtime decides
+        #: what happens next (spill to DRAM, or drop + ``slow_drops``) —
+        #: this counter makes the overflow visible either way instead of
+        #: the flow silently wedging.
+        self.overflow_events = Counter("ceio.slow_overflow")
         #: True while drains are waiting on LLC headroom; the runtime routes
         #: all fast-path admissions to the slow path during this window.
         self.fast_path_paused = False
@@ -102,13 +107,13 @@ class ElasticBufferManager:
     def buffer_packet(self, packet, record):
         """Process (firmware ctx): store packet in on-NIC memory.
 
-        Returns True when buffered, False when on-NIC memory is exhausted
-        (the packet is then dropped — with 16 GB on board this indicates a
-        pathological or misconfigured run).
+        Returns True when buffered, False when on-NIC memory is exhausted —
+        the caller then falls back (spill to host DRAM, or drop when the
+        ``spill_to_dram`` fallback is disabled; it owns ``slow_drops``).
         """
         memory = self.host.nic.memory
         if not memory.allocate(packet.size):
-            self.slow_drops.add(1)
+            self.overflow_events.add(1)
             return False
         yield from memory.write(packet.size)
         buf = self.flow_buffer(packet.flow.flow_id)
@@ -206,6 +211,21 @@ class ElasticBufferManager:
                 entry.record.defer_ack = False
                 self.ack_deferred(packet)
             self.drained_packets.add(1)
+
+    def forget_flow(self, flow_id: int) -> int:
+        """Quiesce support (repro.faults app crash): discard a departed
+        flow's on-NIC buffer, freeing its memory. Returns bytes freed."""
+        buf = self.buffers.pop(flow_id, None)
+        if buf is None:
+            return 0
+        freed = buf.nbytes
+        if freed > 0:
+            self.host.nic.memory.free_bytes(freed)
+            self._active_buffered = max(0, self._active_buffered - 1)
+            self._update_chaos()
+        buf.entries.clear()
+        buf.nbytes = 0
+        return freed
 
     def _chaos(self) -> float:
         return min(1.0, self._active_buffered / self.CHAOS_FLOWS)

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional
 from ..hw import DmaWrite, Host
 from ..io_arch.base import FlowRx, IOArchitecture, RxRecord
 from ..net.packet import Flow, Packet
+from ..sim import SimulationError
 from ..sim.stats import Counter
 from .config import CeioConfig
 from .credit import CreditController
@@ -41,7 +42,9 @@ class CeioFlowState:
     """Per-flow runtime state beyond the generic FlowRx."""
 
     __slots__ = ("flow", "swring", "draining", "drain_proc",
-                 "degraded_since", "cca_marking", "inactive", "pinned_slow")
+                 "degraded_since", "cca_marking", "inactive", "pinned_slow",
+                 "watchdog_backoff", "barrier_stuck_since",
+                 "barrier_progress")
 
     def __init__(self, flow: Flow):
         self.flow = flow
@@ -56,6 +59,13 @@ class CeioFlowState:
         #: Diagnostics hook (Figure 11 / Table 3): hold the flow on the
         #: slow path regardless of credits.
         self.pinned_slow = False
+        #: Credit-watchdog exponential backoff multiplier (doubles per
+        #: reclamation, reset on a genuine credit release).
+        self.watchdog_backoff = 1.0
+        #: Stuck-slot tracking: when the barrier stopped making progress,
+        #: and the fast_delivered count it was last seen at.
+        self.barrier_stuck_since: Optional[float] = None
+        self.barrier_progress = -1
 
 
 class CeioArchitecture(IOArchitecture):
@@ -83,6 +93,10 @@ class CeioArchitecture(IOArchitecture):
         self.overdraft = Counter("ceio.overdraft")
         self.upgrades = Counter("ceio.upgrades")
         self.degrades = Counter("ceio.degrades")
+        #: Graceful-degradation counters (repro.faults recovery paths).
+        self.credit_reclaimed = Counter("ceio.credit_reclaimed")
+        self.swring_holes = Counter("ceio.swring_holes")
+        self.spilled = Counter("ceio.spilled")
         host.nic.arm.spawn_loop(self._control_tick,
                                 period=self.poll_interval, name="ceio-ctl")
         host.nic.arm.spawn_loop(self._reactivate_tick,
@@ -105,10 +119,29 @@ class CeioArchitecture(IOArchitecture):
         return rx
 
     def unregister_flow(self, flow: Flow) -> None:
+        """Quiesce and tear down a flow (also the app-crash path: the
+        restarted worker re-registers from scratch)."""
+        fid = flow.flow_id
         super().unregister_flow(flow)
-        self.states.pop(flow.flow_id, None)
-        self.credits.remove_flow(flow.flow_id)
-        self.steering.remove(flow.flow_id)
+        state = self.states.pop(fid, None)
+        # Remove steering *before* interrupting the drain: the drain's
+        # finally-block calls on_drain_complete -> _maybe_upgrade, which
+        # bails out on a missing rule instead of resurrecting the flow.
+        self.steering.remove(fid)
+        # A crashed app can never release its in-flight buffers; fold the
+        # credits back into the account first so remove_flow returns them
+        # to the reserve instead of parking them as departed-inflight.
+        self.credits.reclaim_inflight(fid, self.sim.now)
+        self.credits.remove_flow(fid)
+        if state is not None:
+            proc = state.drain_proc
+            if proc is not None and proc.is_alive:
+                try:
+                    proc.interrupt("flow unregistered")
+                except SimulationError:
+                    pass  # between scheduling points; it will exit on its own
+        self.buffer_manager.forget_flow(fid)
+        self._touched.discard(fid)
 
     def flow_state(self, flow_id: int) -> CeioFlowState:
         return self.states[flow_id]
@@ -159,7 +192,8 @@ class CeioArchitecture(IOArchitecture):
             sim.call_later(overhead, self._push_fast, packet, record,
                            swring, rx)
 
-        write = DmaWrite(record.key, packet.size, ddio=True, deliver=deliver)
+        write = DmaWrite(record.key, packet.size, ddio=True, deliver=deliver,
+                         flow_id=packet.flow.flow_id)
         yield from self.host.nic.dma.write_to_host(write)
 
     def _push_fast(self, packet, record, swring, rx) -> None:
@@ -174,7 +208,15 @@ class CeioArchitecture(IOArchitecture):
         record = RxRecord(packet, next(_keys), path="slow")
         ok = yield from self.buffer_manager.buffer_packet(packet, record)
         if not ok:
-            self._drop(packet, rx)
+            # On-NIC memory exhausted. Graceful degradation: spill the
+            # packet straight to host DRAM (cache-bypassing DMA write) so
+            # the flow keeps making progress instead of wedging; with the
+            # fallback disabled this is a counted drop.
+            if self.config.spill_to_dram:
+                yield from self._spill_to_dram(packet, state, rx, record)
+            else:
+                self.buffer_manager.slow_drops.add(1)
+                self._drop(packet, rx)
             return
         self.slow_packets.add(1)
         rx.in_use += 1
@@ -198,6 +240,44 @@ class CeioArchitecture(IOArchitecture):
                                          and self._mark_rng.random() < p)
             self._accept(packet, extra_mark=mark)
         self._notify_ready(packet.flow.flow_id)
+
+    def _spill_to_dram(self, packet: Packet, state: CeioFlowState,
+                       rx: FlowRx, record: RxRecord):
+        """Overflow fallback: DMA the packet to host DRAM, bypassing both
+        on-NIC memory and the DDIO partition.
+
+        The record enters the SW ring like a slow-path entry (ordering is
+        preserved) but needs no later DMA read — it becomes host-resident
+        as soon as the write lands; the CPU pays a natural LLC miss when it
+        reads the buffer.
+        """
+        record.path = "host"
+        self.spilled.add(1)
+        self.slow_packets.add(1)
+        rx.in_use += 1
+        rx.delivered.add(1)
+        if self.config.phase_exclusivity:
+            entry = state.swring.push_slow(record)
+        else:
+            entry = state.swring.push_slow_unordered(record)
+        # Claim the entry so no drain selects it for an on-NIC DMA read —
+        # the payload was never buffered on the NIC.
+        entry.fetching = True
+        fid = packet.flow.flow_id
+
+        def deliver(now: float) -> None:
+            packet.delivered_time = now
+            record.deliver_time = now
+            entry.resident = True
+            entry.fetching = False
+            self._notify_ready(fid)
+
+        write = DmaWrite(record.key, packet.size, ddio=False,
+                         deliver=deliver, flow_id=fid)
+        # Overflow is hard congestion: assert CE on the ACK so senders back
+        # off toward whatever rate the spill path sustains.
+        self._accept(packet, extra_mark=True)
+        yield from self.host.nic.dma.write_to_host(write)
 
     # ------------------------------------------------------------------
     # Host software API
@@ -294,6 +374,7 @@ class CeioArchitecture(IOArchitecture):
         rule = self.steering.get(fid)
         if rule is None:
             return
+        self._watchdog_check(fid, state, rule, now)
         idle = now - rule.last_hit_time
         if state.inactive:
             if idle < cfg.inactive_timeout:
@@ -311,6 +392,60 @@ class CeioArchitecture(IOArchitecture):
             if (rule.action is SteeringAction.FAST_PATH
                     and self.credits.credits_exhausted(fid)):
                 self._degrade(fid, state)
+
+    def _watchdog_check(self, fid, state: CeioFlowState, rule,
+                        now: float) -> None:
+        """Graceful-degradation watchdogs (repro.faults), piggybacked on
+        the rotating ARM scan so they cost nothing extra per tick.
+
+        Two independent recoveries:
+
+        - **stuck-slot release**: a phase-exclusivity barrier whose
+          fast-path deliveries make no progress for ``swring_stuck_timeout``
+          is waiting on DMA writes that were lost; forgive the holes so
+          held-back slow entries (and their deferred ACKs) flow again.
+        - **credit-loss reclamation**: a flow that keeps receiving packets
+          (recent steering hits) while its credit account shows no
+          consume/release activity for ``credit_watchdog_timeout`` has had
+          its in-flight credits orphaned by lost writes; reclaim them, with
+          capped exponential backoff in case the writes were merely slow.
+
+        Both are demand-gated on recent steering hits, so flows that simply
+        stopped sending (experiment churn) keep the seeded no-fault
+        behaviour bit-identically.
+        """
+        cfg = self.config
+        demand = now - rule.last_hit_time < cfg.credit_watchdog_timeout
+        if cfg.swring_stuck_timeout > 0 and state.swring.barrier_unmet():
+            progress = state.swring.fast_delivered
+            if progress != state.barrier_progress:
+                state.barrier_progress = progress
+                state.barrier_stuck_since = now
+            elif (demand and state.barrier_stuck_since is not None
+                    and now - state.barrier_stuck_since
+                    > cfg.swring_stuck_timeout):
+                released = state.swring.release_barrier_holes()
+                self.swring_holes.add(released)
+                state.barrier_stuck_since = None
+                state.barrier_progress = -1
+                self._touched.add(fid)
+        else:
+            state.barrier_stuck_since = None
+            state.barrier_progress = -1
+        if not cfg.credit_watchdog or not demand:
+            return
+        acct = self.credits.accounts.get(fid)
+        if acct is None or acct.inflight <= 0:
+            return
+        timeout = cfg.credit_watchdog_timeout * state.watchdog_backoff
+        if now - acct.last_activity > timeout:
+            lost = self.credits.reclaim_inflight(fid, now)
+            if lost:
+                self.credit_reclaimed.add(lost)
+                state.watchdog_backoff = min(
+                    state.watchdog_backoff * 2.0,
+                    cfg.credit_watchdog_backoff_cap)
+                self._touched.add(fid)
 
     def _active_share(self) -> float:
         """Fair share over currently *active* flows (§4.1 Q3: credits of
@@ -346,6 +481,8 @@ class CeioArchitecture(IOArchitecture):
     UPGRADE_RESIDUE_BYTES = 8 * 1024
 
     def _maybe_upgrade(self, fid: int, state: CeioFlowState) -> None:
+        if self.steering.get(fid) is None:
+            return  # flow unregistered (e.g. mid-drain crash teardown)
         if state.pinned_slow:
             return
         if state.inactive:

@@ -48,6 +48,9 @@ class SwRing:
         self.fast_issued = 0
         self.fast_delivered = 0
         self.out_of_order = 0
+        #: Ordering holes forgiven by the stuck-slot watchdog (fast-path
+        #: packets that were issued but whose delivery was lost).
+        self.holes_released = 0
         self._last_seq_popped = -1
 
     # ------------------------------------------------------------------
@@ -71,20 +74,51 @@ class SwRing:
         self._barrier = None
         self._flush_pending()
 
-    def push_slow(self, record) -> None:
+    def push_slow(self, record) -> SwEntry:
         """Slow-path arrival (payload buffered in on-NIC memory)."""
-        self._pending_slow.append(SwEntry(record, resident=False))
+        entry = SwEntry(record, resident=False)
+        self._pending_slow.append(entry)
         self._flush_pending()
+        return entry
 
-    def push_slow_unordered(self, record) -> None:
+    def push_slow_unordered(self, record) -> SwEntry:
         """Ablation hook: bypass the barrier (phase exclusivity off)."""
-        self._entries.append(SwEntry(record, resident=False))
+        entry = SwEntry(record, resident=False)
+        self._entries.append(entry)
+        return entry
 
     def _flush_pending(self) -> None:
         if self._barrier is not None and self.fast_delivered < self._barrier:
             return
         while self._pending_slow:
             self._entries.append(self._pending_slow.popleft())
+
+    # ------------------------------------------------------------------
+    # Stuck-slot recovery (repro.faults)
+    # ------------------------------------------------------------------
+    def barrier_unmet(self) -> bool:
+        """True while slow entries are held back waiting on fast-path
+        deliveries that have not happened (the state the stuck-slot
+        watchdog monitors for progress)."""
+        return self._barrier is not None and self.fast_delivered < self._barrier
+
+    def release_barrier_holes(self) -> int:
+        """Give up on fast-path packets the barrier is still waiting for.
+
+        Their DMA writes were lost (dropped descriptors); no delivery will
+        ever close the gap. Forgiving them means aligning ``fast_issued``
+        down to ``fast_delivered`` — so a later re-degrade cannot recreate
+        an unmeetable barrier from the same dead writes — and flushing the
+        held-back slow entries. Returns the number of holes forgiven.
+        """
+        if not self.barrier_unmet():
+            return 0
+        missing = self._barrier - self.fast_delivered
+        self.holes_released += missing
+        self.fast_issued = self.fast_delivered
+        self._barrier = None
+        self._flush_pending()
+        return missing
 
     # ------------------------------------------------------------------
     # Consumer (the CEIO driver)

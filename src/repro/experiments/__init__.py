@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional
 
 from . import (
     ablations,
+    chaos,
     dynamic,
     fig09,
     fig11,
@@ -101,6 +102,9 @@ _SPECS: List[ExperimentSpec] = [
     _module_spec("ablations", ablations,
                  "Design-choice ablations (credit release, exclusivity, "
                  "cache model)"),
+    _module_spec("chaos", chaos,
+                 "Chaos suite: goodput retention and recovery under "
+                 "injected faults (repro.faults)"),
     ExperimentSpec("lessons",
                    "§6.4 lessons: zero-copy necessity & transport "
                    "agnosticism",

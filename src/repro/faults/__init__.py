@@ -1,0 +1,19 @@
+"""Deterministic fault injection for the CEIO testbed.
+
+Declare *what* breaks with :class:`FaultPlan` / :class:`FaultSpec`
+(:mod:`repro.faults.plan`), compile it into live injector processes with
+:class:`FaultController` (:mod:`repro.faults.injectors`). See
+``docs/FAULTS.md`` for the schema, the injection sites, the CEIO recovery
+mechanisms they exercise, and the determinism contract.
+"""
+
+from .injectors import FaultController, install_plan
+from .plan import FAULT_SITES, FaultPlan, FaultSpec
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultController",
+    "install_plan",
+]

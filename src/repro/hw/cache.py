@@ -130,6 +130,18 @@ class FullyAssociativeLLC:
         if nbytes is not None:
             self._bytes -= nbytes
 
+    def set_ddio_capacity(self, capacity: int) -> None:
+        """Fault seam (hw.cache "ddio_reconfig"): resize the DDIO
+        partition at runtime, evicting oldest buffers that no longer fit."""
+        self.capacity = max(int(capacity), self.config.line)
+        evicted = 0
+        while self._bytes > self.capacity and self._resident:
+            _victim, vbytes = self._resident.popitem(last=False)
+            self._bytes -= vbytes
+            evicted += vbytes
+        if evicted:
+            self.stats.io_lines_evicted += self._lines(evicted)
+
     def flush(self) -> None:
         self._resident.clear()
         self._bytes = 0
@@ -232,6 +244,22 @@ class SetAssociativeLLC:
         _base, _size, resident = entry
         for laddr in resident:
             self._set_lru[laddr % self.sets].pop(laddr, None)
+
+    def set_ddio_ways(self, ways: int) -> None:
+        """Fault seam (hw.cache "ddio_reconfig"): change the DDIO way
+        mask at runtime, evicting LRU lines past the new limit per set."""
+        self.ddio_ways = max(1, int(ways))
+        evicted = 0
+        for lru in self._set_lru:
+            while len(lru) > self.ddio_ways:
+                victim_line, victim_key = next(iter(lru.items()))
+                del lru[victim_line]
+                ventry = self._buffers.get(victim_key)
+                if ventry is not None:
+                    ventry[2].discard(victim_line)
+                evicted += 1
+        if evicted:
+            self.stats.io_lines_evicted += evicted
 
     def flush(self) -> None:
         for lru in self._set_lru:

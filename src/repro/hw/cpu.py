@@ -32,10 +32,13 @@ class Core:
         self.busy_ns = 0.0
         self.reads = Counter(f"core{index}.reads")
         self.read_misses = Counter(f"core{index}.read_misses")
+        #: Fault seam (repro.faults hw.cpu "slowdown"): execution-time
+        #: multiplier modelling preemption by another tenant; 1.0 healthy.
+        self.slowdown = 1.0
 
     def compute(self, cycles: float):
         """Process: execute ``cycles`` of work (yield the returned delay)."""
-        duration = cycles * self.config.cycle_ns
+        duration = cycles * self.config.cycle_ns * self.slowdown
         self.busy_ns += duration
         return duration
 
@@ -65,6 +68,7 @@ class Core:
         Returns ``True`` if the read missed the LLC.
         """
         latency, missed = self.read_latency(key, nbytes)
+        latency *= self.slowdown
         self.busy_ns += latency
         yield latency
         return missed
@@ -80,7 +84,8 @@ class Core:
         copy_cycles = nbytes / 16.0  # ~16 B/cycle sustained memcpy
         dram_ns = self.dram.latency_estimate(nbytes, self.sim.now) * 0.5
         self.dram.record_demand(self.sim.now, nbytes, write=True)
-        latency = copy_cycles * self.config.cycle_ns + cfg.miss_penalty * 0.5 + dram_ns * 0.1
+        latency = (copy_cycles * self.config.cycle_ns
+                   + cfg.miss_penalty * 0.5 + dram_ns * 0.1) * self.slowdown
         self.busy_ns += latency
         yield latency
 

@@ -25,16 +25,20 @@ __all__ = ["DmaWrite", "MemoryController"]
 class DmaWrite:
     """What the NIC's DMA engine asks the memory controller to do."""
 
-    __slots__ = ("key", "nbytes", "ddio", "deliver")
+    __slots__ = ("key", "nbytes", "ddio", "deliver", "flow_id")
 
     def __init__(self, key, nbytes: int, ddio: bool,
-                 deliver: Optional[Callable[[float], None]] = None):
+                 deliver: Optional[Callable[[float], None]] = None,
+                 flow_id: Optional[int] = None):
         self.key = key
         self.nbytes = nbytes
         #: Whether the write allocates into the LLC's DDIO ways.
         self.ddio = ddio
         #: Called (with completion time) once the data is in LLC/DRAM.
         self.deliver = deliver
+        #: Owning flow, when known — lets per-flow fault filters
+        #: (hw.nic "descriptor_drop") target a single victim.
+        self.flow_id = flow_id
 
 
 class MemoryController:

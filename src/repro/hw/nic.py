@@ -94,6 +94,12 @@ class DmaEngine:
         self.iio = iio
         self.writes_issued = Counter("dma.writes")
         self.reads_issued = Counter("dma.reads")
+        # Fault seams (repro.faults hw.nic): "dma_stall" pushes
+        # ``stall_until`` forward; "descriptor_drop" installs a predicate
+        # that silently loses writes. Both are inert when healthy.
+        self.stall_until = 0.0
+        self.drop_filter = None
+        self.dropped_writes = Counter("dma.dropped_writes")
 
     def write_to_host(self, write: DmaWrite):
         """Process: stage 1+2 of Figure 2 — credits, wire, then IIO.
@@ -103,6 +109,11 @@ class DmaEngine:
         buffer), so back-to-back DMAs overlap exactly as posted writes do.
         Back-pressure comes from posted credits and wire bandwidth.
         """
+        if self.drop_filter is not None and self.drop_filter(write):
+            self.dropped_writes.add(1)
+            return
+        if self.sim.now < self.stall_until:
+            yield self.stall_until - self.sim.now
         yield from self.pcie.acquire_write_credits(write.nbytes)
         yield from self.pcie.write_issue(write.nbytes)
         self.writes_issued.add(1)
@@ -125,11 +136,13 @@ class DmaEngine:
         access latency and one PCIe round trip (§6.4 blames exactly these
         for the slow-path cost).
         """
+        if self.sim.now < self.stall_until:
+            yield self.stall_until - self.sim.now
         nicmem_take = nic_memory.bandwidth_take(nbytes)
         wire_take = self.pcie.wire_take(nbytes)
         yield self.sim.all_of([nicmem_take, wire_take])
         yield (nic_memory.config.memory_latency
-               + self.pcie.config.read_latency)
+               + self.pcie.config.read_latency + self.pcie.extra_latency)
         nic_memory.bytes_read.add(nbytes)
         self.pcie.account_read(nbytes)
         self.reads_issued.add(1)

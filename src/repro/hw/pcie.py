@@ -35,6 +35,9 @@ class PcieLink:
         self.bytes_written = Counter("pcie.bytes_written")
         self.bytes_read = Counter("pcie.bytes_read")
         self.bandwidth_meter = RateMeter("pcie.bw", window=10_000.0)
+        #: Fault seam (repro.faults hw.pcie "latency"): extra in-flight
+        #: nanoseconds added to every transaction; 0.0 when healthy.
+        self.extra_latency = 0.0
 
     @property
     def credits_available(self) -> float:
@@ -69,7 +72,7 @@ class PcieLink:
     def write_latency_event(self):
         """One-way in-flight latency of a posted write, as a yieldable
         bare delay (the kernel's allocation-free timeout idiom)."""
-        return self.config.write_latency
+        return self.config.write_latency + self.extra_latency
 
     def read(self, payload: int):
         """Process: a host-issued DMA read returning ``payload`` bytes.
@@ -79,8 +82,13 @@ class PcieLink:
         """
         wire = self.config.wire_bytes(payload)
         yield self._wire.take(wire)
-        yield self.config.read_latency
+        yield self.config.read_latency + self.extra_latency
         self.account_read(payload)
+
+    def set_wire_rate(self, rate: float) -> None:
+        """Fault seam (hw.pcie "stall"): retrain the link to ``rate``
+        bytes/ns; restored to ``config.bandwidth`` when the window closes."""
+        self._wire.set_rate(max(rate, 1e-9))
 
     def wire_take(self, payload: int):
         """Wire-serialisation event for an overlapped streaming transfer."""

@@ -234,7 +234,8 @@ class IOArchitecture:
             self._deliver_record(rx, record)
             rx.delivered.add(1)
 
-        write = DmaWrite(record.key, packet.size, ddio=ddio, deliver=deliver)
+        write = DmaWrite(record.key, packet.size, ddio=ddio, deliver=deliver,
+                         flow_id=packet.flow.flow_id)
         yield from self.host.nic.dma.write_to_host(write)
 
     def _deliver_record(self, rx: FlowRx, record: RxRecord) -> None:

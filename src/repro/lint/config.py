@@ -28,6 +28,7 @@ SIM_PACKAGES: Tuple[str, ...] = (
     "repro.net",
     "repro.io_arch",
     "repro.core",
+    "repro.faults",
     "repro.apps",
     "repro.frameworks",
     "repro.workloads",

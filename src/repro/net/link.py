@@ -16,6 +16,15 @@ from ..sim.stats import Counter, TimeWeightedGauge
 __all__ = ["Link", "SwitchPort"]
 
 
+def _trace_drop(tracer, link_name: str, kind: str, packet) -> None:
+    """Attribute a dropped packet to its cause ("tail" for buffer
+    overflow, else the injecting fault's kind) so chaos experiments and
+    ``Tracer.dump()`` can tell congestion loss from injected loss."""
+    if tracer is not None:
+        tracer.emit("link.drop", link=link_name, kind=kind,
+                    flow=packet.flow.flow_id, seq=packet.seq)
+
+
 class Link:
     """FIFO serialising link: rate (bytes/ns) plus propagation delay."""
 
@@ -31,11 +40,23 @@ class Link:
         self._queue = Store(sim, name=f"{name}.q")
         self.tx_packets = Counter(f"{name}.tx")
         self.tx_bytes = Counter(f"{name}.tx_bytes")
+        # Fault seam (repro.faults net.link): callable(packet) -> drop-kind
+        # string or None; installed only while a fault window is open.
+        self.fault = None
+        self.fault_dropped = Counter(f"{name}.fault_dropped")
+        #: Optional Tracer; every drop emits a "link.drop" event through it.
+        self.tracer = None
         self._egress_proc = sim.process(self._egress(), name=f"{name}-egress")
 
     def send(self, packet) -> None:
         """Enqueue a packet for transmission (non-blocking, unbounded —
         upstream senders are window-limited)."""
+        if self.fault is not None:
+            kind = self.fault(packet)
+            if kind is not None:
+                self.fault_dropped.add(1)
+                _trace_drop(self.tracer, self.name, kind, packet)
+                return
         self._queue.try_put(packet)
 
     def _egress(self):
@@ -75,6 +96,10 @@ class SwitchPort:
         self.tx_packets = Counter(f"{name}.tx")
         self.marked_packets = Counter(f"{name}.marked")
         self.dropped_packets = Counter(f"{name}.dropped")
+        # Fault seam + drop tracing, as on Link.
+        self.fault = None
+        self.fault_dropped = Counter(f"{name}.fault_dropped")
+        self.tracer = None
         self._egress_proc = sim.process(self._egress(), name=f"{name}-egress")
 
     @property
@@ -82,8 +107,15 @@ class SwitchPort:
         return self._queued_bytes
 
     def send(self, packet) -> None:
+        if self.fault is not None:
+            kind = self.fault(packet)
+            if kind is not None:
+                self.fault_dropped.add(1)
+                _trace_drop(self.tracer, self.name, kind, packet)
+                return
         if self._queued_bytes + packet.size > self.buffer_bytes:
             self.dropped_packets.add(1)
+            _trace_drop(self.tracer, self.name, "tail", packet)
             return
         if self._queued_bytes > self.ecn_threshold:
             packet.ecn_marked = True

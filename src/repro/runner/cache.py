@@ -58,8 +58,11 @@ def code_fingerprint(package_root: Optional[str] = None) -> str:
 
 
 def cache_key(point: Point, fingerprint: str) -> str:
-    blob = "|".join([point.fn, canonical_params(point.params),
-                     str(point.seed), fingerprint])
+    # content_key is "fn|params|seed" for healthy points — byte-identical
+    # to the historical four-component blob — and gains a "|faults=..."
+    # component for faulted points, so they can never collide with (or be
+    # served from) a healthy entry.
+    blob = f"{point.content_key}|{fingerprint}"
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
@@ -100,6 +103,7 @@ class ResultCache:
             "fn": point.fn,
             "params": dict(point.params),
             "seed": point.seed,
+            "faults": point.faults or None,
             "fingerprint": self.fingerprint,
             "elapsed_s": elapsed,
             "saved_at": time.time(),

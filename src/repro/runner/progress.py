@@ -75,7 +75,7 @@ class Progress:
     def point_started(self, point: Point, attempt: int) -> None:
         self._log({"event": "point_start", "point_id": point.point_id,
                    "exp_id": point.exp_id, "attempt": attempt,
-                   "seed": point.seed})
+                   "seed": point.seed, "faults": point.faults or None})
         if attempt > 1:
             self.retried += 1
             self._emit(f"        retry #{attempt - 1} {point.pretty()}")
@@ -97,6 +97,7 @@ class Progress:
                    "exp_id": point.exp_id, "status": status,
                    "attempts": outcome.attempts,
                    "elapsed_s": round(outcome.elapsed, 4),
+                   "faults": point.faults or None,
                    "error": outcome.error})
         detail = "" if outcome.cached else f" {outcome.elapsed:.1f}s"
         if outcome.error:

@@ -66,11 +66,23 @@ class Point:
     seed: Optional[int] = None
     #: Human-readable suffix for progress lines (not part of identity).
     label: str = ""
+    #: Canonical JSON of the point's fault plan (``FaultPlan.canonical()``),
+    #: "" for healthy points. Part of identity: a cached healthy result
+    #: must never be served for a faulted run, even if the worker reads the
+    #: plan from ``params`` and an older cache entry predates the field.
+    faults: str = ""
 
     @property
     def content_key(self) -> str:
-        """Cross-experiment identity: same worker+params+seed = same point."""
-        return f"{self.fn}|{canonical_params(self.params)}|{self.seed}"
+        """Cross-experiment identity: same worker+params+seed = same point.
+
+        Healthy points keep the historical three-field format, so every
+        pre-faults cache entry and golden key stays valid byte for byte.
+        """
+        key = f"{self.fn}|{canonical_params(self.params)}|{self.seed}"
+        if self.faults:
+            key += f"|faults={self.faults}"
+        return key
 
     @property
     def point_id(self) -> str:
@@ -82,14 +94,14 @@ class Point:
 
 def make_point(exp_id: str, fn: str, params: Mapping[str, Any],
                root_seed: Optional[int], default_seed: Optional[int],
-               label: str = "") -> Point:
+               label: str = "", faults: str = "") -> Point:
     """Build a point, resolving its seed per the determinism contract."""
     if root_seed is None:
         seed = default_seed
     else:
         seed = derive_seed(root_seed, fn, params)
     return Point(exp_id=exp_id, fn=fn, params=dict(params), seed=seed,
-                 label=label)
+                 label=label, faults=faults)
 
 
 def grid(**axes: Iterable[Any]) -> List[Dict[str, Any]]:

@@ -21,6 +21,7 @@ from ..apps.erpc import ErpcConfig, ErpcServer
 from ..apps.kvstore import KvStore
 from ..apps.linefs import LineFsConfig, LineFsServer
 from ..core import CeioConfig
+from ..faults import FaultController, FaultPlan
 from ..hw import CacheConfig, HostConfig
 from ..io_arch import build_arch
 from ..io_arch.shring import ShringConfig
@@ -86,6 +87,9 @@ class ScenarioConfig:
     ceio: Optional[CeioConfig] = None
     linefs: Optional[LineFsConfig] = None
     host_config: Optional[HostConfig] = None
+    #: Fault plan armed at build time (:mod:`repro.faults`); None/empty =
+    #: the healthy testbed, bit-identical to a config without the field.
+    faults: Optional[FaultPlan] = None
 
 
 class Scenario:
@@ -101,6 +105,7 @@ class Scenario:
         self.kv = KvStore(seed=config.seed)
         self.involved: List[Tuple[Flow, ErpcServer, SaturatingSource]] = []
         self.bypass: List[Tuple[Flow, LineFsServer, SaturatingSource]] = []
+        self.fault_controller: Optional[FaultController] = None
         self._built = False
 
     def _build_arch(self, host_config: HostConfig):
@@ -122,6 +127,10 @@ class Scenario:
             self.add_involved_flow(f"kv{i}")
         for i in range(cfg.n_bypass):
             self.add_bypass_flow(f"dfs{i}")
+        if cfg.faults:
+            self.fault_controller = FaultController(
+                self.testbed, cfg.faults, scenario=self)
+            self.fault_controller.arm()
         self._built = True
         return self
 
@@ -185,6 +194,35 @@ class Scenario:
         server.stop()
         self.testbed.host.cpu.release(server.core)
         return flow
+
+    def crash_involved_flow(self, index: int = 0) -> Optional[str]:
+        """Fault action (repro.faults apps "crash_restart"): kill the
+        ``index``-th CPU-involved worker outright.
+
+        Unlike :meth:`remove_involved_flow` — which models a flow going
+        quiet but staying registered — a crash tears the flow all the way
+        down: the I/O architecture quiesces it (drains interrupted,
+        credits and on-NIC buffers reclaimed), the sender is dropped so
+        in-flight retransmission state dies with the app, and the core is
+        freed. Returns the flow's name for :meth:`restart_involved_flow`.
+        """
+        if not self.involved:
+            return None
+        index %= len(self.involved)
+        flow, server, source = self.involved.pop(index)
+        source.stop()
+        server.stop()
+        self.testbed.host.cpu.release(server.core)
+        self.arch.unregister_flow(flow)
+        self.testbed.senders.pop(flow.flow_id, None)
+        return flow.name
+
+    def restart_involved_flow(self, name: str
+                              ) -> Tuple[Flow, ErpcServer, SaturatingSource]:
+        """Bring a crashed worker back under the same name. The flow
+        re-registers from scratch (fresh flow id, fresh credit account,
+        fresh steering rule) — the §5 re-registration path."""
+        return self.add_involved_flow(name)
 
     # ------------------------------------------------------------------
     # Execution

@@ -78,7 +78,7 @@ def test_unknown_flow_mark_probability_zero():
     assert manager.mark_probability(12345) == 0.0
 
 
-def test_on_nic_memory_exhaustion_drops():
+def test_on_nic_memory_exhaustion_counts_overflow():
     sim = Simulator()
     from repro.hw import NicConfig
     host = Host(sim, HostConfig(cache=CacheConfig(size=256 * 1024),
@@ -99,7 +99,10 @@ def test_on_nic_memory_exhaustion_drops():
     sim.process(proc(sim))
     sim.run()
     assert results == [True, False, False]
-    assert manager.slow_drops.value == 2
+    # The manager reports overflow; the caller decides spill-vs-drop and
+    # owns slow_drops.
+    assert manager.overflow_events.value == 2
+    assert manager.slow_drops.value == 0
 
 
 def test_chaos_tracks_concurrently_buffered_flows():

@@ -1,0 +1,97 @@
+"""Unit tests for the declarative fault-plan data model."""
+
+import math
+
+import pytest
+
+from repro.faults import FAULT_SITES, FaultPlan, FaultSpec
+
+
+def test_defaults_and_finite():
+    spec = FaultSpec("net.link", "loss")
+    assert spec.start == 0.0
+    assert spec.duration == math.inf
+    assert not spec.finite
+    assert spec.magnitude == 1.0
+    assert FaultSpec("net.link", "loss", duration=10.0).finite
+
+
+def test_every_registered_site_kind_validates():
+    for site, kinds in FAULT_SITES.items():
+        for kind in kinds:
+            assert FaultSpec(site, kind).site == site
+
+
+def test_unknown_site_rejected():
+    with pytest.raises(ValueError, match="unknown fault site"):
+        FaultSpec("hw.gpu", "loss")
+
+
+def test_wrong_kind_for_site_rejected():
+    with pytest.raises(ValueError, match="supports"):
+        FaultSpec("net.link", "dma_stall")
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"start": -1.0},
+    {"duration": 0.0},
+    {"duration": -5.0},
+    {"magnitude": -0.1},
+])
+def test_bad_window_values_rejected(kwargs):
+    with pytest.raises(ValueError):
+        FaultSpec("net.link", "loss", **kwargs)
+
+
+def test_params_normalised_and_looked_up():
+    spec = FaultSpec("net.link", "burst_loss",
+                     params={"p_bad_good": 0.5, "good_loss": 0.01})
+    # Mapping input becomes a sorted tuple (hashable, canonical).
+    assert spec.params == (("good_loss", 0.01), ("p_bad_good", 0.5))
+    assert spec.param("p_bad_good") == 0.5
+    assert spec.param("missing", 7) == 7
+    assert hash(spec) == hash(FaultSpec(
+        "net.link", "burst_loss",
+        params=(("p_bad_good", 0.5), ("good_loss", 0.01))))
+
+
+def test_non_scalar_param_rejected():
+    with pytest.raises(TypeError, match="scalars"):
+        FaultSpec("net.link", "loss", params={"bad": [1, 2]})
+
+
+def test_spec_dict_roundtrip_including_infinite_duration():
+    for spec in (FaultSpec("hw.nic", "descriptor_drop", start=5.0,
+                           duration=10.0, magnitude=0.25, flow="kv0",
+                           stream="s", params={"a": 1}),
+                 FaultSpec("hw.cpu", "slowdown", magnitude=4.0)):
+        data = spec.to_dict()
+        assert FaultSpec.from_dict(data) == spec
+    # inf duration serialises as None (JSON-safe) and comes back as inf.
+    assert FaultSpec("net.link", "loss").to_dict()["duration"] is None
+
+
+def test_plan_container_semantics():
+    empty = FaultPlan()
+    assert not empty
+    assert len(empty) == 0
+    plan = FaultPlan((FaultSpec("net.link", "loss", duration=1.0),))
+    assert plan
+    assert list(plan) == [FaultSpec("net.link", "loss", duration=1.0)]
+    assert plan == FaultPlan((FaultSpec("net.link", "loss", duration=1.0),))
+    assert plan != empty
+
+
+def test_plan_json_roundtrip_and_canonical_stability():
+    plan = FaultPlan((
+        FaultSpec("hw.nic", "descriptor_drop", start=500.0, duration=200.0,
+                  magnitude=1.0),
+        FaultSpec("net.link", "burst_loss", magnitude=0.5,
+                  params={"p_good_bad": 0.1}),
+    ))
+    text = plan.canonical()
+    assert FaultPlan.from_json(text) == plan
+    assert FaultPlan.from_json(text).canonical() == text
+    assert FaultPlan.from_dicts(plan.to_dicts()) == plan
+    # Canonical form is compact and key-sorted: safe as a cache-key part.
+    assert " " not in text

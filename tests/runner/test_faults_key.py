@@ -1,0 +1,80 @@
+"""Satellite: a point's fault plan is part of its identity — cache keys
+and the runlog must distinguish faulted from healthy runs, while healthy
+points keep their historical keys byte for byte."""
+
+import hashlib
+import json
+
+from repro.faults import FaultPlan, FaultSpec
+from repro.runner import Progress, ResultCache, cache_key, make_point
+from repro.runner.sweep import canonical_params
+
+
+PLAN = FaultPlan((FaultSpec("hw.nic", "descriptor_drop", start=1.0,
+                            duration=2.0, magnitude=0.5),))
+
+
+def _point(faults=""):
+    return make_point("exp", "mod:fn", {"a": 1}, None, 3,
+                      label="p", faults=faults)
+
+
+def test_healthy_content_key_matches_historical_format():
+    point = _point()
+    expected = f"mod:fn|{canonical_params({'a': 1})}|3"
+    assert point.content_key == expected
+    # And the cache key is the historical sha256 over key|fingerprint.
+    assert cache_key(point, "fp") == hashlib.sha256(
+        f"{expected}|fp".encode()).hexdigest()
+
+
+def test_faulted_point_gets_distinct_identity():
+    healthy = _point()
+    faulted = _point(faults=PLAN.canonical())
+    assert faulted.content_key == (
+        healthy.content_key + f"|faults={PLAN.canonical()}")
+    assert cache_key(healthy, "fp") != cache_key(faulted, "fp")
+
+
+def test_cache_never_serves_healthy_result_for_faulted_point(tmp_path):
+    cache = ResultCache(root=str(tmp_path), fingerprint="fp")
+    healthy = _point()
+    cache.put(healthy, {"mpps": 1.0})
+    hit, _ = cache.get(healthy)
+    assert hit
+    hit, _ = cache.get(_point(faults=PLAN.canonical()))
+    assert not hit
+
+
+def test_cache_entry_records_fault_plan(tmp_path):
+    cache = ResultCache(root=str(tmp_path), fingerprint="fp")
+    faulted = _point(faults=PLAN.canonical())
+    cache.put(faulted, {"mpps": 1.0})
+    path = cache._path(cache.key(faulted))
+    record = json.loads(path.read_text())
+    assert record["faults"] == PLAN.canonical()
+    healthy = _point()
+    cache.put(healthy, {"mpps": 2.0})
+    record = json.loads(cache._path(cache.key(healthy)).read_text())
+    assert record["faults"] is None
+
+
+def test_runlog_records_per_point_faults(tmp_path):
+    from repro.runner.pool import PointOutcome
+
+    log = tmp_path / "runlog.jsonl"
+    progress = Progress(total=2, jsonl_path=str(log), quiet=True)
+    faulted = _point(faults=PLAN.canonical())
+    healthy = _point()
+    progress.point_started(faulted, attempt=1)
+    progress.point_finished(PointOutcome(point=faulted, ok=True, value={}))
+    progress.point_started(healthy, attempt=1)
+    progress.point_finished(PointOutcome(point=healthy, ok=True, value={}))
+    records = [json.loads(line) for line in log.read_text().splitlines()]
+    by_event = {}
+    for rec in records:
+        by_event.setdefault(rec["event"], []).append(rec)
+    assert [r["faults"] for r in by_event["point_start"]] == [
+        PLAN.canonical(), None]
+    assert [r["faults"] for r in by_event["point_done"]] == [
+        PLAN.canonical(), None]
