@@ -1,0 +1,131 @@
+"""Conservation ledger: named debit/credit accounts over live meters.
+
+An :class:`Account` states one balance equation of the simulated system —
+"everything offered to this layer is either forwarded, dropped, or still
+resident here" — as two lists of *sources*: debits (what came in) and
+credits (where it went). A source is any of
+
+- a counter-like object exposing ``.value`` (:class:`repro.sim.stats.Counter`),
+- a zero-argument callable returning a number (occupancy getters),
+- an ``(obj, "attr")`` pair read as a plain attribute (occupancy ints).
+
+Sources are registered once at build time and *read* only when a
+:class:`~repro.audit.reconcile.Reconciler` checks the ledger, so the
+simulation hot path pays nothing beyond the plain integer increments the
+instrumented layers already perform — no per-packet allocation, no
+callbacks, no event traffic.
+
+Two account shapes exist:
+
+- ``exact`` (the default): ``|debits - credits| <= tolerance``.
+- ``bounded``: ``0 <= debits - credits <= slack + tolerance`` where
+  ``slack`` is its own source list. Used for equations that are exact only
+  up to a known in-flight quantity (e.g. the one packet that may be inside
+  the NIC firmware handler) and for capacity invariants
+  (``occupancy <= capacity`` is ``bounded`` with empty credits).
+
+``barrier_safe`` marks accounts whose every debit/credit transition is
+atomic within a single event-kernel step; only those may be asserted at
+arbitrary simulation instants (the periodic debug barriers). The rest are
+exact once ``Simulator.run(until)`` has drained all same-timestamp events
+— i.e. at end-of-run reconciliation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple, Union
+
+__all__ = ["Account", "Ledger", "read_source"]
+
+#: Valid unit tags for accounts (documentation + report labelling).
+UNITS = ("packets", "bytes", "descriptors", "credits", "lines", "ways")
+
+Source = Union[Callable[[], float], Tuple[Any, str], Any]
+
+
+def read_source(source: Source) -> float:
+    """Read a source's current value (see module docstring for kinds)."""
+    value = getattr(source, "value", None)
+    if value is not None:
+        return value
+    if isinstance(source, tuple):
+        obj, attr = source
+        return getattr(obj, attr)
+    return source()
+
+
+class Account:
+    """One named balance equation with unit-tagged debit/credit sources."""
+
+    __slots__ = ("name", "unit", "tolerance", "barrier_safe", "bounded",
+                 "_debits", "_credits", "_slack")
+
+    def __init__(self, name: str, unit: str, tolerance: float = 0.0,
+                 barrier_safe: bool = False, bounded: bool = False):
+        if unit not in UNITS:
+            raise ValueError(f"unknown unit {unit!r}; choose from {UNITS}")
+        self.name = name
+        self.unit = unit
+        self.tolerance = tolerance
+        self.barrier_safe = barrier_safe
+        self.bounded = bounded
+        self._debits: List[Tuple[str, Source]] = []
+        self._credits: List[Tuple[str, Source]] = []
+        self._slack: List[Tuple[str, Source]] = []
+
+    # ------------------------------------------------------------------
+    def debit(self, label: str, source: Source) -> "Account":
+        """Register an inflow source; returns self for chaining."""
+        self._debits.append((label, source))
+        return self
+
+    def credit(self, label: str, source: Source) -> "Account":
+        """Register an outflow/occupancy source; returns self for chaining."""
+        self._credits.append((label, source))
+        return self
+
+    def slack(self, label: str, source: Source) -> "Account":
+        """Register a slack source (``bounded`` accounts only)."""
+        self._slack.append((label, source))
+        return self
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Read every source and evaluate the balance equation."""
+        debits = {label: read_source(src) for label, src in self._debits}
+        credits = {label: read_source(src) for label, src in self._credits}
+        slack = sum(read_source(src) for _, src in self._slack)
+        delta = sum(debits.values()) - sum(credits.values())
+        if self.bounded:
+            ok = -self.tolerance <= delta <= slack + self.tolerance
+        else:
+            ok = abs(delta) <= self.tolerance
+        return {"account": self.name, "unit": self.unit, "ok": ok,
+                "delta": delta, "slack": slack,
+                "debits": debits, "credits": credits}
+
+
+class Ledger:
+    """An ordered collection of accounts (insertion order = check order)."""
+
+    __slots__ = ("accounts",)
+
+    def __init__(self):
+        self.accounts: Dict[str, Account] = {}
+
+    def account(self, name: str, unit: str, tolerance: float = 0.0,
+                barrier_safe: bool = False, bounded: bool = False) -> Account:
+        """Create (or fetch) the account ``name``; parameters apply on
+        first creation only."""
+        acct = self.accounts.get(name)
+        if acct is None:
+            acct = Account(name, unit, tolerance=tolerance,
+                           barrier_safe=barrier_safe, bounded=bounded)
+            self.accounts[name] = acct
+        return acct
+
+    def __len__(self) -> int:
+        return len(self.accounts)
+
+    def __iter__(self):
+        return iter(self.accounts.values())

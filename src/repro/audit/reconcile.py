@@ -1,0 +1,123 @@
+"""End-of-run (and debug-barrier) reconciliation of a conservation ledger.
+
+The :class:`Reconciler` walks every account of a
+:class:`~repro.audit.ledger.Ledger`, evaluates its balance equation, and
+produces a structured :class:`AuditReport`: overall verdict, per-account
+balances, and — for each violation — a *who-owes-whom* delta naming the
+account, the unit, the side in deficit, and the full per-source breakdown
+so the first missing packet/byte/credit is attributable to a layer without
+re-running anything.
+
+Timing contract (see ``docs/AUDIT.md``): a full check is exact only after
+``Simulator.run(until)`` returns, because ``run`` drains every event at
+time ``<= until`` and therefore closes all same-timestamp handoff windows.
+Mid-run (periodic barrier) checks restrict themselves to accounts marked
+``barrier_safe`` — those whose transitions are atomic within one kernel
+step.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .ledger import Ledger
+
+__all__ = ["AuditReport", "Reconciler"]
+
+
+def _fmt(value: float) -> str:
+    """Render a source value compactly (ints without a trailing .0)."""
+    if value == int(value):
+        return str(int(value))
+    return f"{value:g}"
+
+
+def _violation_message(snap: Dict[str, Any]) -> str:
+    """The who-owes-whom sentence for a failed account snapshot."""
+    delta = snap["delta"]
+    debit_side = "+".join(snap["debits"]) or "(none)"
+    credit_side = "+".join(snap["credits"]) or "(none)"
+    if delta > 0:
+        owing, owed, amount = debit_side, credit_side, delta
+    else:
+        owing, owed, amount = credit_side, debit_side, -delta
+    detail = "; ".join(
+        f"{label}={_fmt(value)}"
+        for label, value in list(snap["debits"].items())
+        + list(snap["credits"].items()))
+    return (f"{snap['account']}: {owing} owes {owed} "
+            f"{_fmt(amount)} {snap['unit']} ({detail})")
+
+
+class AuditReport:
+    """Outcome of one reconciliation pass."""
+
+    __slots__ = ("now", "checked", "entries", "violations", "barrier_only")
+
+    def __init__(self, now: float, entries: List[Dict[str, Any]],
+                 barrier_only: bool = False):
+        self.now = now
+        self.entries = entries
+        self.checked = len(entries)
+        self.barrier_only = barrier_only
+        self.violations: List[Dict[str, Any]] = []
+        for snap in entries:
+            if not snap["ok"]:
+                self.violations.append({
+                    "account": snap["account"],
+                    "unit": snap["unit"],
+                    "delta": snap["delta"],
+                    "debits": snap["debits"],
+                    "credits": snap["credits"],
+                    "message": _violation_message(snap),
+                })
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self, include_balances: bool = False) -> Dict[str, Any]:
+        """JSON-safe summary; balances of healthy accounts are elided by
+        default to keep runlog/cache records small."""
+        data: Dict[str, Any] = {
+            "ok": self.ok,
+            "now": self.now,
+            "checked": self.checked,
+            "violations": self.violations,
+        }
+        if self.barrier_only:
+            data["barrier_only"] = True
+        if include_balances:
+            data["accounts"] = self.entries
+        return data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        verdict = "ok" if self.ok else f"{len(self.violations)} violations"
+        return f"<AuditReport {self.checked} accounts, {verdict}>"
+
+
+class Reconciler:
+    """Evaluates a ledger's balance equations on demand."""
+
+    __slots__ = ("ledger",)
+
+    def __init__(self, ledger: Ledger):
+        self.ledger = ledger
+
+    def check(self, now: float = 0.0,
+              barrier_only: bool = False) -> AuditReport:
+        """Evaluate every account (or only the ``barrier_safe`` subset)."""
+        entries = [account.snapshot() for account in self.ledger
+                   if account.barrier_safe or not barrier_only]
+        return AuditReport(now, entries, barrier_only=barrier_only)
+
+    def assert_balanced(self, now: float = 0.0,
+                        barrier_only: bool = False) -> Optional[AuditReport]:
+        """Check and raise ``AssertionError`` on the first violation —
+        the debug-barrier idiom."""
+        report = self.check(now, barrier_only=barrier_only)
+        if not report.ok:
+            raise AssertionError(
+                f"conservation violated at t={now:g}: "
+                + "; ".join(v["message"] for v in report.violations))
+        return report

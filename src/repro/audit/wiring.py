@@ -1,0 +1,160 @@
+"""Wire a testbed's components into a conservation :class:`~.ledger.Ledger`.
+
+One function, :func:`build_ledger`, walks the fixed component graph of a
+:class:`repro.net.fabric.Testbed` — switch port, wire, NIC MAC, firmware
+handler, DMA engine, IIO buffer, memory controller, PCIe credits, on-NIC
+memory, LLC — and registers one balance equation per layer, then hands the
+ledger to the installed I/O architecture's ``audit_register`` hook for the
+architecture-specific equations (descriptor rings, shared-ring slots, CEIO
+credits / elastic buffers / phase barriers).
+
+Every source is read **lazily** at reconcile time: building the ledger
+costs a handful of small objects once per scenario, and the hot path pays
+only the plain integer/Counter increments the components already perform.
+
+Accounts marked ``barrier_safe`` have debit/credit transitions that are
+atomic within one kernel step, so they also hold at arbitrary mid-run
+barriers (the ``REPRO_SIM_DEBUG=1`` periodic checks). The PCIe credit
+account is *not* barrier-safe: :class:`repro.sim.resources.Container`
+debits its level synchronously but the waiting DMA process only counts the
+acquisition when it resumes (same timestamp), so that equation is exact
+only once the event calendar has drained — which ``Simulator.run(until=T)``
+guarantees at every return.
+"""
+
+from __future__ import annotations
+
+from .ledger import Ledger
+
+__all__ = ["build_ledger"]
+
+
+def _register_network(ledger: Ledger, port, nic) -> None:
+    """Switch port and wire: offered packets are dropped, queued, in
+    flight, or received by the NIC."""
+    swport = ledger.account("net.port", "packets", barrier_safe=True)
+    swport.debit("offered", port.rx_offered)
+    swport.credit("fault_dropped", port.fault_dropped)
+    swport.credit("tail_dropped", port.dropped_packets)
+    swport.credit("transmitted", port.tx_packets)
+    swport.credit("queued", (port, "queued_packets"))
+
+    wire = ledger.account("net.wire", "packets", barrier_safe=True)
+    wire.debit("transmitted", port.tx_packets)
+    wire.credit("in_flight", (port, "wire_inflight"))
+    wire.credit("nic_received", nic.rx_packets)
+
+
+def _register_nic(ledger: Ledger, nic, arch) -> None:
+    """MAC buffer and firmware handler: every received packet is MAC-
+    dropped, handled, or still buffered; every handled packet was
+    categorised by the architecture exactly once."""
+    mac = ledger.account("nic.mac", "packets", barrier_safe=True)
+    mac.debit("received", nic.rx_packets)
+    mac.credit("mac_dropped", nic.dropped_packets)
+    mac.credit("handled", nic.handled_packets)
+    mac.credit("buffered", (nic, "_mac_pkts"))
+
+    # The window between entering on_packet and the admit/drop/duplicate
+    # decision is covered by handler_inflight (bounded, slack <= 1).
+    handler = ledger.account("nic.handler", "packets", barrier_safe=True,
+                             bounded=True)
+    handler.debit("accepted", arch.rx_accepted)
+    handler.debit("arch_dropped", arch.rx_dropped)
+    handler.debit("duplicates",
+                  lambda: sum(rx.duplicates.value
+                              for rx in arch._all_rx.values()))
+    handler.credit("handled", nic.handled_packets)
+    handler.credit("mac_dropped", nic.dropped_packets)
+    handler.slack("handler_inflight", (nic, "handler_inflight"))
+
+
+def _register_dma_path(ledger: Ledger, host) -> None:
+    """DMA engine -> PCIe -> IIO -> memory controller."""
+    dma = host.nic.dma
+    engine = ledger.account("dma.engine", "packets", barrier_safe=True)
+    engine.debit("requests", dma.requests)
+    engine.credit("dropped_writes", dma.dropped_writes)
+    engine.credit("pending", (dma, "pending_writes"))
+    engine.credit("issued", dma.writes_issued)
+
+    iio = ledger.account("hw.iio", "packets", barrier_safe=True)
+    iio.debit("issued", dma.writes_issued)
+    iio.credit("inbound_inflight", (host.iio, "inbound_inflight"))
+    iio.credit("completed", host.memctrl.writes_completed)
+
+    memctrl = ledger.account("hw.memctrl", "packets", barrier_safe=True)
+    memctrl.debit("completed", host.memctrl.writes_completed)
+    memctrl.credit("delivered", host.memctrl.deliveries)
+    memctrl.credit("no_consumer", host.memctrl.no_deliver)
+
+    pcie = host.pcie
+    credits = ledger.account("hw.pcie_credits", "bytes", tolerance=1e-6)
+    credits.debit("acquired", pcie.credits_acquired)
+    credits.credit("released", pcie.credits_released)
+    credits.credit("outstanding",
+                   lambda: pcie.config.posted_credits
+                   - pcie._credits.level)
+
+    nicmem = ledger.account("hw.nicmem", "bytes", barrier_safe=True)
+    nicmem.debit("allocated", host.nic.memory.allocated_bytes)
+    nicmem.credit("freed", host.nic.memory.freed_bytes)
+    nicmem.credit("used", (host.nic.memory, "used"))
+
+
+def _register_llc(ledger: Ledger, llc) -> None:
+    """Cache residency conservation plus the DDIO capacity invariant, per
+    cache model (byte-granularity for the fully-associative LRU, exact
+    line-granularity for the set-associative model)."""
+    if hasattr(llc, "audit_inserted_bytes"):
+        cache = ledger.account("hw.llc", "bytes", barrier_safe=True)
+        cache.debit("inserted", (llc, "audit_inserted_bytes"))
+        cache.credit("evicted", (llc, "audit_evicted_bytes"))
+        cache.credit("released", (llc, "audit_released_bytes"))
+        cache.credit("overwritten", (llc, "audit_overwritten_bytes"))
+        cache.credit("flushed", (llc, "audit_flushed_bytes"))
+        cache.credit("resident", (llc, "_bytes"))
+
+        # An insert larger than the (possibly fault-shrunk) partition is
+        # allowed to over-occupy transiently, so the bound carries the
+        # largest resident buffer as slack.
+        cap = ledger.account("hw.llc_capacity", "bytes", barrier_safe=True,
+                             bounded=True)
+        cap.debit("resident", (llc, "_bytes"))
+        cap.slack("capacity", (llc, "capacity"))
+        cap.slack("largest_buffer",
+                  lambda: max(llc._resident.values(), default=0))
+    else:
+        cache = ledger.account("hw.llc", "lines", barrier_safe=True)
+        cache.debit("inserted", (llc.stats, "io_lines_inserted"))
+        cache.credit("evicted", (llc.stats, "io_lines_evicted"))
+        cache.credit("released", (llc, "audit_released_lines"))
+        cache.credit("flushed", (llc, "audit_flushed_lines"))
+        cache.credit("resident",
+                     lambda: sum(len(lru) for lru in llc._set_lru))
+
+        ways = ledger.account("hw.llc_ways", "ways", barrier_safe=True,
+                              bounded=True)
+        ways.debit("deepest_set",
+                   lambda: max((len(lru) for lru in llc._set_lru),
+                               default=0))
+        ways.slack("ddio_ways", (llc, "ddio_ways"))
+
+
+def build_ledger(testbed, arch=None) -> Ledger:
+    """Build the cross-layer conservation ledger for ``testbed``.
+
+    ``arch`` defaults to the installed I/O architecture; pass one
+    explicitly only in unit tests that wire a bare testbed.
+    """
+    if arch is None:
+        arch = testbed.io_arch
+    if arch is None:
+        raise ValueError("testbed has no installed I/O architecture")
+    ledger = Ledger()
+    _register_network(ledger, testbed.port, testbed.host.nic)
+    _register_nic(ledger, testbed.host.nic, arch)
+    _register_dma_path(ledger, testbed.host)
+    _register_llc(ledger, testbed.host.llc)
+    arch.audit_register(ledger)
+    return ledger

@@ -71,6 +71,13 @@ class CreditController:
         #: Credits still in flight on behalf of flows that were removed;
         #: they return to the reserve as their buffers are released.
         self._departed_inflight: int = 0
+        # Conservation flux meters (repro.audit): every credit consumed is
+        # eventually released, reclaimed by the watchdog, or still in
+        # flight (possibly on behalf of a departed flow). Plain floats —
+        # this module stays simulation-free.
+        self.consumed_total: float = 0.0
+        self.released_total: float = 0.0
+        self.reclaimed_total: float = 0.0
 
     # ------------------------------------------------------------------
     # Inspection
@@ -154,6 +161,7 @@ class CreditController:
         acct.available -= 1.0
         acct.inflight += 1
         acct.last_activity = now
+        self.consumed_total += 1.0
         return True
 
     def consume_overdraft(self, flow_id: int, now: float = 0.0) -> None:
@@ -169,6 +177,7 @@ class CreditController:
         acct.available -= 1.0
         acct.inflight += 1
         acct.last_activity = now
+        self.consumed_total += 1.0
 
     def credits_exhausted(self, flow_id: int) -> bool:
         acct = self.accounts.get(flow_id)
@@ -192,6 +201,7 @@ class CreditController:
             recovered = min(count, self._departed_inflight)
             self._departed_inflight -= recovered
             self.reserve += recovered
+            self.released_total += recovered
             return
         # Over-release is a caller bug; clamp to preserve conservation.
         released = min(count, acct.inflight)
@@ -199,6 +209,7 @@ class CreditController:
             return
         acct.inflight -= released
         acct.last_activity = now
+        self.released_total += released
         gamma = float(released)
         if acct.owes:
             gamma = self._repay(acct, gamma)
@@ -295,6 +306,7 @@ class CreditController:
         lost, acct.inflight = acct.inflight, 0
         acct.available += lost
         acct.last_activity = now
+        self.reclaimed_total += lost
         return lost
 
     def grant_share(self, flow_id: int, now: float = 0.0,

@@ -72,9 +72,12 @@ class CeioDriver:
         boundary_flows = set()
         for record in records:
             fid = record.flow.flow_id
-            rx = runtime.flows.get(fid)
+            # Retained index: releases arriving after a crash teardown
+            # still balance the descriptor ledger (repro.audit).
+            rx = runtime._all_rx.get(fid)
             if rx is not None:
                 rx.in_use -= 1
+                runtime.released_records.add(1)
             runtime.host.llc.release(record.key)
             if record.path != "fast":
                 continue  # slow-path buffers never held credits

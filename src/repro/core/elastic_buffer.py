@@ -89,6 +89,11 @@ class ElasticBufferManager:
         self.ack_deferred = None
         #: Flows whose on-NIC buffer is currently non-empty.
         self._active_buffered = 0
+        # Conservation meters (repro.audit): every buffered entry is
+        # eventually removed by a drain, discarded by forget_flow, or still
+        # sitting in a live per-flow buffer.
+        self.audit_removed = 0
+        self.forgotten_entries = 0
 
     def flow_buffer(self, flow_id: int) -> FlowSlowBuffer:
         buf = self.buffers.get(flow_id)
@@ -192,17 +197,23 @@ class ElasticBufferManager:
         yield from self.host.nic.dma.read_from_nic(self.host.nic.memory,
                                                    total)
         now = self.sim.now
+        # A crash_restart fault may have forgotten this flow's buffer while
+        # the DMA read was in flight: forget_flow already freed its on-NIC
+        # bytes, so an orphaned drain must not free (or account) them again.
+        live = self.buffers.get(flow_id) is buf
         for entry in chunk:
             packet = entry.record.packet
             self.host.llc.io_insert(entry.record.key, packet.size)
-            self.host.nic.memory.free_bytes(packet.size)
-            buf.nbytes = max(0, buf.nbytes - packet.size)
-            if buf.nbytes == 0:
-                self._active_buffered = max(0, self._active_buffered - 1)
-                self._update_chaos()
-            if buf.entries and buf.entries[0][1] is entry:
-                buf.entries.popleft()
-            buf.consumption.record(now, packet.size)
+            if live:
+                self.host.nic.memory.free_bytes(packet.size)
+                buf.nbytes = max(0, buf.nbytes - packet.size)
+                if buf.nbytes == 0:
+                    self._active_buffered = max(0, self._active_buffered - 1)
+                    self._update_chaos()
+                if buf.entries and buf.entries[0][1] is entry:
+                    buf.entries.popleft()
+                    self.audit_removed += 1
+                buf.consumption.record(now, packet.size)
             entry.resident = True
             entry.fetching = False
             entry.record.deliver_time = now
@@ -218,6 +229,7 @@ class ElasticBufferManager:
         buf = self.buffers.pop(flow_id, None)
         if buf is None:
             return 0
+        self.forgotten_entries += len(buf.entries)
         freed = buf.nbytes
         if freed > 0:
             self.host.nic.memory.free_bytes(freed)

@@ -79,9 +79,17 @@ class CeioArchitecture(IOArchitecture):
         self.buffer_manager = ElasticBufferManager(host, self.config)
         self.driver = CeioDriver(self)
         self.states: Dict[int, CeioFlowState] = {}
+        #: Retained across unregister_flow (like ``_all_rx``) so SW-ring
+        #: pop/occupancy sums stay conserved across crash_restart faults.
+        self._all_states: Dict[int, CeioFlowState] = {}
+        #: Fast-path DMA writes swallowed by a descriptor-drop fault
+        #: (their deliveries will never run).
+        self.fast_write_drops = 0
         self.buffer_manager.notify = self._notify_ready
-        self.buffer_manager.ack_deferred = (
-            lambda packet: self._accept(packet, extra_mark=True))
+        # Deferred ACKs send only the ACK: the packet was already counted
+        # accepted at admission (going through _accept again would double-
+        # count it in ``rx_accepted`` and unbalance the audit ledger).
+        self.buffer_manager.ack_deferred = self._ack_deferred
         self.poll_interval = host.config.nic.arm_poll_interval
         #: Flows with data-path activity since the last control tick — the
         #: ARM loop only inspects these plus a rotating inactivity slice,
@@ -113,7 +121,9 @@ class CeioArchitecture(IOArchitecture):
     def register_flow(self, flow: Flow) -> FlowRx:
         rx = super().register_flow(flow)
         if flow.flow_id not in self.states:
-            self.states[flow.flow_id] = CeioFlowState(flow)
+            state = CeioFlowState(flow)
+            self.states[flow.flow_id] = state
+            self._all_states[flow.flow_id] = state
             self.credits.add_flows([flow.flow_id])
             self.steering.install(flow.flow_id, SteeringAction.FAST_PATH)
         return rx
@@ -178,6 +188,7 @@ class CeioArchitecture(IOArchitecture):
         self.fast_packets.add(1)
         state.swring.note_fast_issued()
         rx.in_use += 1
+        self.delivery_inflight += 1
         record = RxRecord(packet, next(_keys), path="fast")
         self._accept(packet)
 
@@ -195,9 +206,24 @@ class CeioArchitecture(IOArchitecture):
         write = DmaWrite(record.key, packet.size, ddio=True, deliver=deliver,
                          flow_id=packet.flow.flow_id)
         yield from self.host.nic.dma.write_to_host(write)
+        if write.dropped:
+            # Descriptor-drop fault: the accepted packet will never deliver.
+            # Account the loss to the flow (it was ACKed, so the sender
+            # will not retransmit); the consumed credit and descriptor leak
+            # until the watchdog/ release recover them — the realistic
+            # failure mode the chaos suite exercises.
+            self.delivery_inflight -= 1
+            self.fast_write_drops += 1
+            self.dma_write_drops.add(1)
+            rx.dropped.add(1)
+
+    def _ack_deferred(self, packet: Packet) -> None:
+        if self.ack is not None:
+            self.ack(packet, True)
 
     def _push_fast(self, packet, record, swring, rx) -> None:
         t = self.sim.now
+        self.delivery_inflight -= 1
         packet.delivered_time = t
         record.deliver_time = t
         swring.push_fast(record)
@@ -278,6 +304,12 @@ class CeioArchitecture(IOArchitecture):
         # off toward whatever rate the spill path sustains.
         self._accept(packet, extra_mark=True)
         yield from self.host.nic.dma.write_to_host(write)
+        if write.dropped:
+            # The spilled entry can never become host-resident; account the
+            # loss to the flow (delivery counters already balanced at
+            # admission, so only the flow-visible drop is recorded).
+            self.dma_write_drops.add(1)
+            rx.dropped.add(1)
 
     # ------------------------------------------------------------------
     # Host software API
@@ -535,6 +567,73 @@ class CeioArchitecture(IOArchitecture):
     def fast_fraction(self) -> float:
         total = self.fast_packets.value + self.slow_packets.value
         return self.fast_packets.value / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    # Conservation auditing (repro.audit)
+    # ------------------------------------------------------------------
+    def audit_register(self, ledger) -> None:
+        """CEIO replaces the base delivery/ring equations (the SW ring is
+        the application-facing structure) and adds credit, elastic-buffer
+        and phase-barrier conservation."""
+        rxs = self._all_rx
+        states = self._all_states
+        credits = self.credits
+        bm = self.buffer_manager
+
+        delivery = ledger.account("arch.delivery", "packets",
+                                  barrier_safe=True)
+        delivery.debit("accepted", self.rx_accepted)
+        delivery.credit("delivered",
+                        lambda: sum(rx.delivered.value for rx in rxs.values()))
+        delivery.credit("inflight", (self, "delivery_inflight"))
+        delivery.credit("fast_write_drops", (self, "fast_write_drops"))
+
+        rings = ledger.account("arch.app_rings", "packets", barrier_safe=True)
+        rings.debit("delivered",
+                    lambda: sum(rx.delivered.value for rx in rxs.values()))
+        rings.credit("popped",
+                     lambda: sum(st.swring.popped for st in states.values()))
+        rings.credit("ring_occupancy",
+                     lambda: sum(len(st.swring) for st in states.values()))
+
+        desc = ledger.account("arch.descriptors", "descriptors",
+                              barrier_safe=True)
+        desc.debit("accepted", self.rx_accepted)
+        desc.credit("released", self.released_records)
+        desc.credit("in_use", lambda: sum(rx.in_use for rx in rxs.values()))
+
+        barrier = ledger.account("ceio.fast_barrier", "packets",
+                                 barrier_safe=True, bounded=True)
+        barrier.debit("issued_minus_delivered",
+                      lambda: sum(st.swring.fast_issued
+                                  - st.swring.fast_delivered
+                                  for st in states.values()))
+        barrier.slack("inflight", (self, "delivery_inflight"))
+        barrier.slack("fast_write_drops", (self, "fast_write_drops"))
+
+        pool = ledger.account("ceio.credit_pool", "credits",
+                              tolerance=1e-6, barrier_safe=True)
+        pool.debit("audit", credits.audit)
+        pool.credit("total", (credits, "total"))
+
+        flux = ledger.account("ceio.credit_flux", "credits",
+                              tolerance=1e-6, barrier_safe=True)
+        flux.debit("consumed", (credits, "consumed_total"))
+        flux.credit("released", (credits, "released_total"))
+        flux.credit("reclaimed", (credits, "reclaimed_total"))
+        flux.credit("inflight",
+                    lambda: sum(a.inflight
+                                for a in credits.accounts.values())
+                    + credits._departed_inflight)
+
+        elastic = ledger.account("ceio.elastic_entries", "packets",
+                                 barrier_safe=True)
+        elastic.debit("buffered", bm.buffered_packets)
+        elastic.credit("removed", (bm, "audit_removed"))
+        elastic.credit("forgotten", (bm, "forgotten_entries"))
+        elastic.credit("occupancy",
+                       lambda: sum(len(b.entries)
+                                   for b in bm.buffers.values()))
 
 
 # Register with the architecture registry (done here rather than in

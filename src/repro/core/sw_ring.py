@@ -48,6 +48,9 @@ class SwRing:
         self.fast_issued = 0
         self.fast_delivered = 0
         self.out_of_order = 0
+        #: Records handed to the application via :meth:`pop_ready`
+        #: (conservation meter for repro.audit).
+        self.popped = 0
         #: Ordering holes forgiven by the stuck-slot watchdog (fast-path
         #: packets that were issued but whose delivery was lost).
         self.holes_released = 0
@@ -147,6 +150,7 @@ class SwRing:
                 self.out_of_order += 1
             self._last_seq_popped = max(self._last_seq_popped, seq)
             records.append(entry.record)
+        self.popped += len(records)
         return records
 
     def nonresident_head(self, max_entries: int) -> List[SwEntry]:

@@ -27,6 +27,7 @@ from . import (
     fig12,
     lessons,
     limits,
+    soak,
     table2,
     table3,
     table4,
@@ -105,6 +106,9 @@ _SPECS: List[ExperimentSpec] = [
     _module_spec("chaos", chaos,
                  "Chaos suite: goodput retention and recovery under "
                  "injected faults (repro.faults)"),
+    _module_spec("soak", soak,
+                 "Randomized invariant soak: sampled scenario x arch x "
+                 "fault plans gated on conservation (repro.audit)"),
     ExperimentSpec("lessons",
                    "§6.4 lessons: zero-copy necessity & transport "
                    "agnosticism",

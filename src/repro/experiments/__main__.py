@@ -70,6 +70,11 @@ def main(argv=None) -> int:
                              "(default 1)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-point progress lines")
+    parser.add_argument("--strict-audit", action="store_true",
+                        help="fail (exit 1) if any point reports a "
+                             "cross-layer conservation violation "
+                             "(repro.audit); cached entries without an "
+                             "audit summary are re-executed")
     parser.add_argument("--profile", action="store_true",
                         help="wrap every executed point in cProfile and "
                              "dump <point>.prof next to the runlog "
@@ -95,7 +100,8 @@ def main(argv=None) -> int:
     options = RunnerOptions(
         jobs=args.jobs, use_cache=not args.no_cache, rerun=args.rerun,
         cache_dir=args.cache_dir, timeout=args.timeout,
-        retries=args.retries, quiet=args.quiet, profile_dir=profile_dir)
+        retries=args.retries, quiet=args.quiet, profile_dir=profile_dir,
+        strict_audit=args.strict_audit)
 
     start = time.time()
     outcomes, progress = run_sweeps(ids, quick=not args.full,
@@ -114,6 +120,13 @@ def main(argv=None) -> int:
     summary = progress.summary()
     print(f"{summary}; total wall-clock {time.time() - start:.1f}s",
           file=sys.stderr)
+    if args.strict_audit and progress.audit_violations:
+        worst = sorted(progress.audit_failed_points.items())
+        print(f"strict audit: {progress.audit_violations} conservation "
+              f"violation(s) across {len(worst)} point(s): "
+              + ", ".join(f"{pid} ({n})" for pid, n in worst[:5]),
+              file=sys.stderr)
+        return 1
     return 1 if failed else 0
 
 

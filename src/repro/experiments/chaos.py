@@ -113,11 +113,18 @@ def run_point(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
     during = scenario.run_measure(0.0, FAULT)
     posts = [scenario.run_measure(0.0, POST) for _ in range(N_POST)]
 
+    windows = [pre, during] + posts
     out: Dict[str, Any] = {
         "pre": pre.involved_mpps,
         "during": during.involved_mpps,
         "post": [m.involved_mpps for m in posts],
         "dropped_writes": scenario.testbed.host.nic.dma.dropped_writes.value,
+        # Per-flow drops summed over every measured window — includes the
+        # silently-lost DMA writes that baseline/shring/hostcc previously
+        # failed to account into Measurement.dropped.
+        "dropped_total": sum(m.dropped for m in windows),
+        "audit_violations": sum(
+            len((m.audit or {}).get("violations", ())) for m in windows),
     }
     for attr in ("credit_reclaimed", "swring_holes", "spilled"):
         counter = getattr(scenario.arch, attr, None)

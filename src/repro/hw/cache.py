@@ -69,6 +69,15 @@ class FullyAssociativeLLC:
         self.capacity = config.ddio_capacity
         self._resident: "OrderedDict[Hashable, int]" = OrderedDict()
         self._bytes = 0
+        # Conservation meters (repro.audit), byte-granularity so they close
+        # exactly: inserted = evicted + released + overwritten + flushed +
+        # occupancy. (The line-granularity ``stats`` fields round per
+        # aggregate and cannot balance.)
+        self.audit_inserted_bytes = 0
+        self.audit_evicted_bytes = 0
+        self.audit_released_bytes = 0
+        self.audit_overwritten_bytes = 0
+        self.audit_flushed_bytes = 0
 
     # -- inspection -------------------------------------------------------
     @property
@@ -93,7 +102,9 @@ class FullyAssociativeLLC:
         if nbytes <= 0:
             raise ValueError("io_insert needs a positive size")
         if key in self._resident:
-            self._bytes -= self._resident.pop(key)
+            old = self._resident.pop(key)
+            self._bytes -= old
+            self.audit_overwritten_bytes += old
         evicted = 0
         while self._bytes + nbytes > self.capacity and self._resident:
             _victim, vbytes = self._resident.popitem(last=False)
@@ -101,6 +112,8 @@ class FullyAssociativeLLC:
             evicted += vbytes
         self._resident[key] = nbytes
         self._bytes += nbytes
+        self.audit_inserted_bytes += nbytes
+        self.audit_evicted_bytes += evicted
         self.stats.io_lines_inserted += self._lines(nbytes)
         self.stats.io_lines_evicted += self._lines(evicted) if evicted else 0
         return evicted
@@ -129,6 +142,7 @@ class FullyAssociativeLLC:
         nbytes = self._resident.pop(key, None)
         if nbytes is not None:
             self._bytes -= nbytes
+            self.audit_released_bytes += nbytes
 
     def set_ddio_capacity(self, capacity: int) -> None:
         """Fault seam (hw.cache "ddio_reconfig"): resize the DDIO
@@ -140,9 +154,11 @@ class FullyAssociativeLLC:
             self._bytes -= vbytes
             evicted += vbytes
         if evicted:
+            self.audit_evicted_bytes += evicted
             self.stats.io_lines_evicted += self._lines(evicted)
 
     def flush(self) -> None:
+        self.audit_flushed_bytes += self._bytes
         self._resident.clear()
         self._bytes = 0
 
@@ -168,6 +184,11 @@ class SetAssociativeLLC:
         # Per buffer key: (base_addr, nbytes, set of resident line addrs).
         self._buffers: Dict[Hashable, Tuple[int, int, set]] = {}
         self._next_addr = 0
+        # Conservation meters (repro.audit), line-granularity (this model
+        # is exactly line-wise): inserted = evicted + released + flushed +
+        # resident lines.
+        self.audit_released_lines = 0
+        self.audit_flushed_lines = 0
 
     @property
     def occupancy(self) -> int:
@@ -242,6 +263,7 @@ class SetAssociativeLLC:
         if entry is None:
             return
         _base, _size, resident = entry
+        self.audit_released_lines += len(resident)
         for laddr in resident:
             self._set_lru[laddr % self.sets].pop(laddr, None)
 
@@ -262,6 +284,7 @@ class SetAssociativeLLC:
             self.stats.io_lines_evicted += evicted
 
     def flush(self) -> None:
+        self.audit_flushed_lines += sum(len(lru) for lru in self._set_lru)
         for lru in self._set_lru:
             lru.clear()
         self._buffers.clear()

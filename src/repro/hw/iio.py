@@ -34,6 +34,12 @@ class IioBuffer:
         self._bytes = 0
         self.occupancy_gauge = TimeWeightedGauge("iio.occupancy")
         self._space_waiters = []
+        # Conservation occupancy (repro.audit): posted writes issued by the
+        # DMA engine but not yet completed by the memory controller. The
+        # DMA engine increments it atomically with ``writes_issued``;
+        # :meth:`complete` decrements — so issued = inflight + completed at
+        # every kernel step.
+        self.inbound_inflight = 0
 
     @property
     def occupancy(self) -> int:
@@ -67,6 +73,7 @@ class IioBuffer:
     def complete(self, entry: IioEntry) -> None:
         """Release the space held by ``entry`` (write to LLC/DRAM done)."""
         self._bytes -= entry.nbytes
+        self.inbound_inflight -= 1
         self.occupancy_gauge.update(self.sim.now, self._bytes)
         waiters, self._space_waiters = self._space_waiters, []
         for w in waiters:

@@ -25,7 +25,7 @@ __all__ = ["DmaWrite", "MemoryController"]
 class DmaWrite:
     """What the NIC's DMA engine asks the memory controller to do."""
 
-    __slots__ = ("key", "nbytes", "ddio", "deliver", "flow_id")
+    __slots__ = ("key", "nbytes", "ddio", "deliver", "flow_id", "dropped")
 
     def __init__(self, key, nbytes: int, ddio: bool,
                  deliver: Optional[Callable[[float], None]] = None,
@@ -39,6 +39,9 @@ class DmaWrite:
         #: Owning flow, when known — lets per-flow fault filters
         #: (hw.nic "descriptor_drop") target a single victim.
         self.flow_id = flow_id
+        #: Set synchronously by the DMA engine when a descriptor-drop fault
+        #: swallows the write, so the issuer can account the loss.
+        self.dropped = False
 
 
 class MemoryController:
@@ -65,6 +68,10 @@ class MemoryController:
         self.pcie = pcie
         self.writes_completed = Counter("memctrl.writes")
         self.writeback_bytes = Counter("memctrl.writebacks")
+        # Conservation meters (repro.audit): every completed write either
+        # delivered to an I/O-architecture descriptor or had no consumer.
+        self.deliveries = Counter("memctrl.deliveries")
+        self.no_deliver = Counter("memctrl.no_deliver")
         self._proc = sim.process(self._drain_loop(), name="memctrl")
 
     def _drain_loop(self):
@@ -88,4 +95,7 @@ class MemoryController:
             self.pcie.release_write_credits(write.nbytes)
             self.writes_completed.add(1)
             if write.deliver is not None:
+                self.deliveries.add(1)
                 write.deliver(self.sim.now)
+            else:
+                self.no_deliver.add(1)

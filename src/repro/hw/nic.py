@@ -38,6 +38,11 @@ class OnNicMemory:
         self.used_gauge = TimeWeightedGauge("nicmem.used")
         self.bytes_written = Counter("nicmem.bytes_written")
         self.bytes_read = Counter("nicmem.bytes_read")
+        # Conservation meters (repro.audit): every reservation and every
+        # free, at face value — a double free shows up as freed > allocated
+        # rather than vanishing into the max(0, ...) clamp below.
+        self.allocated_bytes = Counter("nicmem.allocated")
+        self.freed_bytes = Counter("nicmem.freed")
 
     @property
     def used(self) -> int:
@@ -52,11 +57,13 @@ class OnNicMemory:
         if self._used + nbytes > self.capacity:
             return False
         self._used += nbytes
+        self.allocated_bytes.add(nbytes)
         self.used_gauge.update(self.sim.now, self._used)
         return True
 
     def free_bytes(self, nbytes: int) -> None:
         self._used = max(0, self._used - nbytes)
+        self.freed_bytes.add(nbytes)
         self.used_gauge.update(self.sim.now, self._used)
 
     def write(self, nbytes: int):
@@ -100,6 +107,10 @@ class DmaEngine:
         self.stall_until = 0.0
         self.drop_filter = None
         self.dropped_writes = Counter("dma.dropped_writes")
+        # Conservation meters (repro.audit): requests = dropped + pending
+        # (stalled / waiting for credits / on the wire) + issued.
+        self.requests = Counter("dma.requests")
+        self.pending_writes = 0
 
     def write_to_host(self, write: DmaWrite):
         """Process: stage 1+2 of Figure 2 — credits, wire, then IIO.
@@ -109,14 +120,22 @@ class DmaEngine:
         buffer), so back-to-back DMAs overlap exactly as posted writes do.
         Back-pressure comes from posted credits and wire bandwidth.
         """
+        self.requests.add(1)
         if self.drop_filter is not None and self.drop_filter(write):
+            # The drop verdict is synchronous (before any yield), so the
+            # caller observes ``write.dropped`` the moment this returns and
+            # can account the loss to the owning flow.
+            write.dropped = True
             self.dropped_writes.add(1)
             return
+        self.pending_writes += 1
         if self.sim.now < self.stall_until:
             yield self.stall_until - self.sim.now
         yield from self.pcie.acquire_write_credits(write.nbytes)
         yield from self.pcie.write_issue(write.nbytes)
+        self.pending_writes -= 1
         self.writes_issued.add(1)
+        self.iio.inbound_inflight += 1
         # Fire-and-forget by design: one short-lived process per posted
         # write in the DMA hot path; a crash still propagates because an
         # unwaited Process re-raises. Keeping per-write handles would
@@ -201,10 +220,16 @@ class Nic:
         self.arm = ArmCores(sim, config)
         self._ingress = Store(sim, name="nic.mac")
         self._mac_bytes = 0
+        self._mac_pkts = 0
         self.handler = None  # installed by an IOArchitecture
         self.rx_packets = Counter("nic.rx_packets")
         self.rx_bytes = Counter("nic.rx_bytes")
         self.dropped_packets = Counter("nic.dropped")
+        self.handled_packets = Counter("nic.handled")
+        #: 1 while a packet is inside the handler generator (at most one —
+        #: a single firmware pipeline); the audit slack for the window
+        #: between entering ``on_packet`` and its admit/drop decision.
+        self.handler_inflight = 0
         self.mac_gauge = TimeWeightedGauge("nic.mac_occupancy")
         self._firmware = sim.process(self._firmware_loop(), name="nic-fw")
 
@@ -221,6 +246,7 @@ class Nic:
             self._notify_drop(packet)
             return False
         self._mac_bytes += packet.size
+        self._mac_pkts += 1
         self.mac_gauge.update(self.sim.now, self._mac_bytes)
         self._ingress.try_put(packet)
         return True
@@ -234,6 +260,10 @@ class Nic:
         while True:
             packet = yield self._ingress.get()
             yield self.config.firmware_overhead
+            self.handler_inflight = 1
             yield from self.handler.on_packet(packet)
+            self.handler_inflight = 0
+            self.handled_packets.add(1)
             self._mac_bytes -= packet.size
+            self._mac_pkts -= 1
             self.mac_gauge.update(self.sim.now, self._mac_bytes)

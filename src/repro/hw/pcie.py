@@ -35,6 +35,10 @@ class PcieLink:
         self.bytes_written = Counter("pcie.bytes_written")
         self.bytes_read = Counter("pcie.bytes_read")
         self.bandwidth_meter = RateMeter("pcie.bw", window=10_000.0)
+        # Conservation meters (repro.audit): acquired = released +
+        # (capacity - level), i.e. no credit is ever minted or destroyed.
+        self.credits_acquired = Counter("pcie.credits_acquired")
+        self.credits_released = Counter("pcie.credits_released")
         #: Fault seam (repro.faults hw.pcie "latency"): extra in-flight
         #: nanoseconds added to every transaction; 0.0 when healthy.
         self.extra_latency = 0.0
@@ -49,11 +53,15 @@ class PcieLink:
 
     def acquire_write_credits(self, payload: int):
         """Process: wait for posted-write credits for ``payload`` bytes."""
-        yield self._credits.get(min(payload, self.config.posted_credits))
+        amount = min(payload, self.config.posted_credits)
+        yield self._credits.get(amount)
+        self.credits_acquired.add(amount)
 
     def release_write_credits(self, payload: int) -> None:
         """Credits return when the IIO entry drains (memctrl calls this)."""
-        self._credits.try_put(min(payload, self.config.posted_credits))
+        amount = min(payload, self.config.posted_credits)
+        if self._credits.try_put(amount):
+            self.credits_released.add(amount)
 
     def write_issue(self, payload: int):
         """Process: serialise a posted write onto the wire.

@@ -116,6 +116,15 @@ class IOArchitecture:
         self.ack: Optional[Callable] = None
         self.rx_accepted = Counter(f"{self.name}.accepted")
         self.rx_dropped = Counter(f"{self.name}.dropped")
+        # Conservation meters (repro.audit). ``_all_rx`` retains per-flow
+        # state across unregister_flow so flow sums stay conserved when a
+        # worker crashes mid-run (orphan deliveries still mutate it).
+        self._all_rx: Dict[int, FlowRx] = {}
+        self.dma_write_drops = Counter(f"{self.name}.dma_write_drops")
+        self.released_records = Counter(f"{self.name}.released")
+        self.popped_records = Counter(f"{self.name}.popped")
+        #: Packets accepted whose DMA write has not yet delivered/dropped.
+        self.delivery_inflight = 0
         # Ready-flow notification queue: lets a server thread poll "any
         # flow with pending packets" in O(1) instead of sweeping thousands
         # of mostly-idle rings (the Figure 12 regime).
@@ -131,6 +140,7 @@ class IOArchitecture:
             return self.flows[flow.flow_id]
         rx = FlowRx(flow, self.ring_entries_for(flow))
         self.flows[flow.flow_id] = rx
+        self._all_rx[flow.flow_id] = rx
         flow.rx = rx
         return rx
 
@@ -180,6 +190,8 @@ class IOArchitecture:
         batch: List[RxRecord] = []
         while rx.ring and len(batch) < max_packets:
             batch.append(rx.ring.popleft())
+        if batch:
+            self.popped_records.add(len(batch))
         return batch
 
     def recv_burst(self, flow: Flow, max_packets: int):
@@ -193,9 +205,12 @@ class IOArchitecture:
         """Application is done with these buffers: recycle descriptors and
         drop the dead LLC lines."""
         for record in records:
-            rx = self.flows.get(record.flow.flow_id)
+            # Fall back to the retained index so releases arriving after a
+            # crash_restart unregister still balance the descriptor ledger.
+            rx = self._all_rx.get(record.flow.flow_id)
             if rx is not None:
                 rx.in_use -= 1
+                self.released_records.add(1)
             self.host.llc.release(record.key)
 
     def app_overhead_cycles(self) -> float:
@@ -225,10 +240,12 @@ class IOArchitecture:
         back-pressures the MAC buffer, as real hardware does.
         """
         rx.in_use += 1
+        self.delivery_inflight += 1
         record = RxRecord(packet, next(_buffer_keys), path=path)
         self._accept(packet, extra_mark)
 
         def deliver(now: float) -> None:
+            self.delivery_inflight -= 1
             packet.delivered_time = now
             record.deliver_time = now
             self._deliver_record(rx, record)
@@ -237,6 +254,14 @@ class IOArchitecture:
         write = DmaWrite(record.key, packet.size, ddio=ddio, deliver=deliver,
                          flow_id=packet.flow.flow_id)
         yield from self.host.nic.dma.write_to_host(write)
+        if write.dropped:
+            # Descriptor-drop fault swallowed the write after admission:
+            # the flow loses the packet (it was ACKed, so the sender will
+            # not retransmit) and the descriptor leaks until release — the
+            # realistic failure mode. Account the loss to the flow.
+            self.delivery_inflight -= 1
+            self.dma_write_drops.add(1)
+            rx.dropped.add(1)
 
     def _deliver_record(self, rx: FlowRx, record: RxRecord) -> None:
         """Make a completed record visible to host software. Subclasses
@@ -289,3 +314,40 @@ class IOArchitecture:
     def _flow_still_ready(self, fid: int) -> bool:
         rx = self.flows.get(fid)
         return rx is not None and bool(rx.ring)
+
+    # ------------------------------------------------------------------
+    # Conservation auditing (repro.audit)
+    # ------------------------------------------------------------------
+    def audit_register(self, ledger) -> None:
+        """Register this architecture's conservation accounts on ``ledger``.
+
+        Three balance equations every receive architecture must satisfy:
+        accepted packets are delivered, in flight, or dropped by a DMA
+        fault; delivered records are popped or still ringed; and accepted
+        descriptors are released or still owned by the I/O path. Subclasses
+        with extra structures extend this (and call ``super()``).
+        """
+        rxs = self._all_rx
+        delivery = ledger.account("arch.delivery", "packets",
+                                  barrier_safe=True)
+        delivery.debit("accepted", self.rx_accepted)
+        delivery.credit("delivered",
+                        lambda: sum(rx.delivered.value for rx in rxs.values()))
+        delivery.credit("inflight", (self, "delivery_inflight"))
+        delivery.credit("dma_write_drops", self.dma_write_drops)
+
+        rings = ledger.account("arch.app_rings", "packets", barrier_safe=True)
+        rings.debit("delivered",
+                    lambda: sum(rx.delivered.value for rx in rxs.values()))
+        rings.credit("popped", self.popped_records)
+        rings.credit("ring_occupancy", self._audit_ring_occupancy)
+
+        desc = ledger.account("arch.descriptors", "descriptors",
+                              barrier_safe=True)
+        desc.debit("accepted", self.rx_accepted)
+        desc.credit("released", self.released_records)
+        desc.credit("in_use", lambda: sum(rx.in_use for rx in rxs.values()))
+
+    def _audit_ring_occupancy(self) -> int:
+        """Delivered-but-unpopped records (shared-ring archs override)."""
+        return sum(len(rx.ring) for rx in self._all_rx.values())

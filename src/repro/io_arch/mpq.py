@@ -55,6 +55,8 @@ class MpqArch(IOArchitecture):
         self.demotions = Counter("mpq.demotions")
         self.high_packets = Counter("mpq.high_packets")
         self.low_packets = Counter("mpq.low_packets")
+        # Conservation meter (repro.audit): high-class slot recycles.
+        self.high_released = Counter("mpq.high_released")
         self._aging_proc = self.sim.process(self._aging_loop(),
                                             name="mpq-aging")
 
@@ -98,9 +100,18 @@ class MpqArch(IOArchitecture):
 
     def release(self, records) -> None:
         for record in records:
-            if record.path == "fast":
-                self._high_in_use = max(0, self._high_in_use - 1)
+            if record.path == "fast" and self._high_in_use > 0:
+                self._high_in_use -= 1
+                self.high_released.add(1)
         super().release(records)
+
+    def audit_register(self, ledger) -> None:
+        super().audit_register(ledger)
+        high = ledger.account("mpq.high_slots", "descriptors",
+                              barrier_safe=True)
+        high.debit("admitted", self.high_packets)
+        high.credit("released", self.high_released)
+        high.credit("in_use", (self, "_high_in_use"))
 
     def high_fraction(self) -> float:
         total = self.high_packets.value + self.low_packets.value

@@ -71,6 +71,11 @@ class ShringArch(IOArchitecture):
         self._guard_streams: dict = {}
         self.ring_full_drops = Counter("shring.ring_full_drops")
         self.guard_marks = Counter("shring.guard_marks")
+        # Conservation meters (repro.audit): every admitted shared-ring
+        # slot is either released or still in use — a slot that is neither
+        # has leaked (the descriptor_drop chaos narrative).
+        self.shared_admitted = Counter("shring.shared_admitted")
+        self.shared_released = Counter("shring.shared_released")
 
     @property
     def shared_in_use(self) -> int:
@@ -104,6 +109,7 @@ class ShringArch(IOArchitecture):
         if self._dedup(packet, rx):
             return
         self._shared_in_use += 1
+        self.shared_admitted.add(1)
         guard = self._guard_mark(packet.flow.flow_id)
         if guard:
             self.guard_marks.add(1)
@@ -121,6 +127,8 @@ class ShringArch(IOArchitecture):
         batch: List[RxRecord] = []
         while self._shared_ring and len(batch) < max_packets:
             batch.append(self._shared_ring.popleft())
+        if batch:
+            self.popped_records.add(len(batch))
         return batch
 
     def _guard_mark(self, flow_id: int) -> bool:
@@ -136,3 +144,16 @@ class ShringArch(IOArchitecture):
     def release(self, records) -> None:
         super().release(records)
         self._shared_in_use -= len(records)
+        if records:
+            self.shared_released.add(len(records))
+
+    def _audit_ring_occupancy(self) -> int:
+        return len(self._shared_ring)
+
+    def audit_register(self, ledger) -> None:
+        super().audit_register(ledger)
+        shared = ledger.account("shring.shared_slots", "descriptors",
+                                barrier_safe=True)
+        shared.debit("admitted", self.shared_admitted)
+        shared.credit("released", self.shared_released)
+        shared.credit("in_use", (self, "_shared_in_use"))

@@ -29,6 +29,7 @@ SIM_PACKAGES: Tuple[str, ...] = (
     "repro.io_arch",
     "repro.core",
     "repro.faults",
+    "repro.audit",
     "repro.apps",
     "repro.frameworks",
     "repro.workloads",

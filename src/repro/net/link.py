@@ -93,9 +93,17 @@ class SwitchPort:
         self._queue = Store(sim, name=f"{name}.q")
         self._queued_bytes = 0
         self.queue_gauge = TimeWeightedGauge(f"{name}.queue")
+        self.rx_offered = Counter(f"{name}.rx_offered")
         self.tx_packets = Counter(f"{name}.tx")
         self.marked_packets = Counter(f"{name}.marked")
         self.dropped_packets = Counter(f"{name}.dropped")
+        # Conservation occupancy (repro.audit): packets queued or in
+        # serialisation, and packets on the wire (tx'd, not yet delivered).
+        self.queued_packets = 0
+        self.wire_inflight = 0
+        # Bind once so per-packet scheduling loads an instance attribute
+        # instead of allocating a bound method.
+        self._wire_arrive = self._wire_arrive  # type: ignore[misc]
         # Fault seam + drop tracing, as on Link.
         self.fault = None
         self.fault_dropped = Counter(f"{name}.fault_dropped")
@@ -107,6 +115,7 @@ class SwitchPort:
         return self._queued_bytes
 
     def send(self, packet) -> None:
+        self.rx_offered.add(1)
         if self.fault is not None:
             kind = self.fault(packet)
             if kind is not None:
@@ -121,6 +130,7 @@ class SwitchPort:
             packet.ecn_marked = True
             self.marked_packets.add(1)
         self._queued_bytes += packet.size
+        self.queued_packets += 1
         self.queue_gauge.update(self.sim.now, self._queued_bytes)
         self._queue.try_put(packet)
 
@@ -129,6 +139,12 @@ class SwitchPort:
             packet = yield self._queue.get()
             yield packet.size / self.rate
             self._queued_bytes -= packet.size
+            self.queued_packets -= 1
             self.queue_gauge.update(self.sim.now, self._queued_bytes)
             self.tx_packets.add(1)
-            self.sim.call_later(self.propagation, self.deliver, packet)
+            self.wire_inflight += 1
+            self.sim.call_later(self.propagation, self._wire_arrive, packet)
+
+    def _wire_arrive(self, packet) -> None:
+        self.wire_inflight -= 1
+        self.deliver(packet)

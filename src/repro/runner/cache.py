@@ -57,12 +57,17 @@ def code_fingerprint(package_root: Optional[str] = None) -> str:
     return fingerprint
 
 
-def cache_key(point: Point, fingerprint: str) -> str:
+def cache_key(point: Point, fingerprint: str, audit_tag: str = "") -> str:
     # content_key is "fn|params|seed" for healthy points — byte-identical
     # to the historical four-component blob — and gains a "|faults=..."
     # component for faulted points, so they can never collide with (or be
-    # served from) a healthy entry.
+    # served from) a healthy entry. audit_tag is non-empty only under
+    # strict audit gating: a gated run must not be satisfied by an entry
+    # whose audit summary was never captured, while runs without gating
+    # keep their historical keys byte for byte.
     blob = f"{point.content_key}|{fingerprint}"
+    if audit_tag:
+        blob += f"|audit={audit_tag}"
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
@@ -70,9 +75,12 @@ class ResultCache:
     """Get/put point results; misses on absent, stale, or corrupt entries."""
 
     def __init__(self, root: str = DEFAULT_CACHE_DIR,
-                 fingerprint: Optional[str] = None):
+                 fingerprint: Optional[str] = None,
+                 audit_tag: str = ""):
         self.root = Path(root)
         self.fingerprint = fingerprint or code_fingerprint()
+        #: Non-empty under strict audit gating; see :func:`cache_key`.
+        self.audit_tag = audit_tag
         self.hits = 0
         self.misses = 0
 
@@ -81,23 +89,32 @@ class ResultCache:
         return self.root / "points" / key[:2] / f"{key}.json"
 
     def key(self, point: Point) -> str:
-        return cache_key(point, self.fingerprint)
+        return cache_key(point, self.fingerprint, self.audit_tag)
 
-    def get(self, point: Point) -> Tuple[bool, Any]:
-        """Return ``(hit, value)``; a corrupt entry is a miss, not an error."""
+    def get_entry(self, point: Point) -> Optional[Dict[str, Any]]:
+        """Full cache record (metadata + value + audit summary) or None;
+        a corrupt entry is a miss, not an error."""
         path = self._path(self.key(point))
         try:
             with open(path, encoding="utf-8") as fh:
                 record = json.load(fh)
-            value = record["value"]
+            record["value"]
         except (OSError, ValueError, KeyError):
             self.misses += 1
-            return False, None
+            return None
         self.hits += 1
-        return True, value
+        return record
+
+    def get(self, point: Point) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; a corrupt entry is a miss, not an error."""
+        record = self.get_entry(point)
+        if record is None:
+            return False, None
+        return True, record["value"]
 
     def put(self, point: Point, value: Any,
-            elapsed: Optional[float] = None) -> None:
+            elapsed: Optional[float] = None,
+            audit: Optional[Dict[str, Any]] = None) -> None:
         record = {
             "point_id": point.point_id,
             "fn": point.fn,
@@ -107,6 +124,7 @@ class ResultCache:
             "fingerprint": self.fingerprint,
             "elapsed_s": elapsed,
             "saved_at": time.time(),
+            "audit": audit,
             "value": value,
         }
         path = self._path(self.key(point))

@@ -45,6 +45,12 @@ class RunnerOptions:
     #: per point into this directory. Implies serial execution and skips
     #: cache reads (a cache hit would mean nothing runs to profile).
     profile_dir: Optional[str] = None
+    #: Fail the run (exit 1) if any point reports a conservation-audit
+    #: violation. Also switches the cache to audit-tagged keys, so gated
+    #: runs never trust entries whose audit summary was never captured —
+    #: and, symmetrically, keys of ungated runs stay byte-identical to
+    #: their historical values.
+    strict_audit: bool = False
 
 
 @dataclass
@@ -63,7 +69,10 @@ def execute_points(points: List[Point], options: RunnerOptions,
                    progress: Optional[Progress] = None,
                    ) -> Tuple[Dict[str, Any], List[PointOutcome]]:
     """Run (or recall) every point; see module docstring."""
-    cache = ResultCache(options.cache_dir) if options.use_cache else None
+    cache = None
+    if options.use_cache:
+        cache = ResultCache(options.cache_dir,
+                            audit_tag="v1" if options.strict_audit else "")
 
     # Structural dedupe: first point with a given content_key is canonical.
     unique: Dict[str, Point] = {}
@@ -75,12 +84,13 @@ def execute_points(points: List[Point], options: RunnerOptions,
     skip_cache_read = options.rerun or options.profile_dir is not None
     for key, point in unique.items():
         if cache is not None and not skip_cache_read:
-            hit, value = cache.get(point)
-            if hit:
-                values[key] = value
+            entry = cache.get_entry(point)
+            if entry is not None:
+                values[key] = entry["value"]
                 if progress:
                     progress.point_finished(PointOutcome(
-                        point=point, ok=True, value=value, cached=True))
+                        point=point, ok=True, value=entry["value"],
+                        cached=True, audit=entry.get("audit")))
                 continue
         to_run.append(point)
 
@@ -91,7 +101,7 @@ def execute_points(points: List[Point], options: RunnerOptions,
             values[outcome.point.content_key] = outcome.value
             if cache is not None:
                 cache.put(outcome.point, outcome.value,
-                          elapsed=outcome.elapsed)
+                          elapsed=outcome.elapsed, audit=outcome.audit)
         else:
             failures.append(outcome)
         if progress:

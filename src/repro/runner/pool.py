@@ -34,6 +34,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from ..audit import drain_reports
 from .sweep import Point, resolve_worker
 
 __all__ = ["PoolConfig", "PointOutcome", "WorkerPool"]
@@ -68,6 +69,10 @@ class PointOutcome:
     attempts: int = 1
     elapsed: float = 0.0
     cached: bool = False
+    #: Conservation-audit summary drained from ``repro.audit`` after the
+    #: point executed (``None``: no audited scenario ran, or the value was
+    #: served from a cache entry that predates auditing).
+    audit: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -122,12 +127,14 @@ def _worker_main(task_q, result_q) -> None:
         start = time.monotonic()
         try:
             value = resolve_worker(fn)(params, seed)
-            result_q.put((idx, True, value, None, time.monotonic() - start))
+            result_q.put((idx, True, value, None, time.monotonic() - start,
+                          drain_reports()))
         except BaseException as exc:  # report, don't die: the pool retries
+            drain_reports()  # discard partial reports of the failed attempt
             detail = "".join(
                 traceback.format_exception_only(type(exc), exc)).strip()
             result_q.put((idx, False, None, detail,
-                          time.monotonic() - start))
+                          time.monotonic() - start, None))
 
 
 class WorkerPool:
@@ -168,20 +175,27 @@ class WorkerPool:
             errors: List[str] = []
             value = None
             ok = False
+            audit = None
             start = time.monotonic()
             while attempts <= cfg.retries:
                 attempts += 1
                 if on_start:
                     on_start(point, attempts)
                 try:
+                    # In-process execution shares the audit mailbox with the
+                    # caller; discard anything a previous caller left behind
+                    # so it isn't attributed to this point.
+                    drain_reports()
                     worker = resolve_worker(point.fn)
                     if cfg.profile_dir:
                         value = self._run_profiled(worker, point)
                     else:
                         value = worker(dict(point.params), point.seed)
                     ok = True
+                    audit = drain_reports()
                     break
                 except Exception as exc:
+                    drain_reports()  # discard the failed attempt's reports
                     errors.append("".join(traceback.format_exception_only(
                         type(exc), exc)).strip())
                     if attempts <= cfg.retries:
@@ -189,7 +203,8 @@ class WorkerPool:
             outcome = PointOutcome(
                 point=point, ok=ok, value=value,
                 error=None if ok else "; ".join(errors),
-                attempts=attempts, elapsed=time.monotonic() - start)
+                attempts=attempts, elapsed=time.monotonic() - start,
+                audit=audit)
             outcomes.append(outcome)
             if on_done:
                 on_done(outcome)
@@ -240,7 +255,7 @@ class WorkerPool:
         finished = 0
         while True:
             try:
-                idx, ok, value, error, elapsed = result_q.get_nowait()
+                idx, ok, value, error, elapsed, audit = result_q.get_nowait()
             except queue_mod.Empty:
                 return finished
             except (EOFError, OSError):  # queue torn by a killed worker
@@ -255,7 +270,7 @@ class WorkerPool:
             if ok:
                 task.outcome = PointOutcome(
                     point=task.point, ok=True, value=value,
-                    attempts=task.attempts, elapsed=elapsed)
+                    attempts=task.attempts, elapsed=elapsed, audit=audit)
                 finished += 1
                 if on_done:
                     on_done(task.outcome)

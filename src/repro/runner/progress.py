@@ -43,6 +43,14 @@ class Progress:
         self.cached = 0
         self.failed = 0
         self.retried = 0
+        #: Conservation-audit totals across all points that carried an
+        #: audit summary (repro.audit); points executed before auditing
+        #: existed (old cache entries) simply don't contribute.
+        self.audit_reports = 0
+        self.audit_checked = 0
+        self.audit_violations = 0
+        #: point_id -> violation count, for strict-gating diagnostics.
+        self.audit_failed_points: Dict[str, int] = {}
         self._exec_elapsed = 0.0
         self._t0 = time.monotonic()
         if self.jsonl_path:
@@ -93,17 +101,32 @@ class Progress:
             self.failed += 1
             status = "FAILED"
         point = outcome.point
+        audit = getattr(outcome, "audit", None)
+        violations = 0
+        if audit:
+            self.audit_reports += audit.get("reports", 0)
+            self.audit_checked += audit.get("checked", 0)
+            violations = audit.get("violations", 0)
+            if violations:
+                self.audit_violations += violations
+                self.audit_failed_points[point.point_id] = violations
         self._log({"event": "point_done", "point_id": point.point_id,
                    "exp_id": point.exp_id, "status": status,
                    "attempts": outcome.attempts,
                    "elapsed_s": round(outcome.elapsed, 4),
                    "faults": point.faults or None,
+                   "audit": audit,
                    "error": outcome.error})
         detail = "" if outcome.cached else f" {outcome.elapsed:.1f}s"
+        if violations:
+            detail += f" [AUDIT: {violations} violation(s)]"
         if outcome.error:
             detail += f" ({outcome.error})"
         self._emit(f"[{self.done:>3}/{self.total}] {status:<6} "
                    f"{point.pretty()}{detail}{self._eta()}")
+        if violations:
+            for message in (audit.get("details") or [])[:3]:
+                self._emit(f"        audit: {message}")
 
     # ------------------------------------------------------------------
     def summary(self) -> str:
@@ -111,8 +134,16 @@ class Progress:
         text = (f"{self.total} points: {self.executed} executed, "
                 f"{self.cached} cached, {self.failed} failed "
                 f"({self.retried} retries) in {elapsed:.1f}s")
+        if self.audit_checked:
+            text += (f"; audit: {self.audit_checked} balance checks, "
+                     f"{self.audit_violations} violations")
         self._log({"event": "sweep_done", "executed": self.executed,
                    "cached": self.cached, "failed": self.failed,
                    "retries": self.retried,
                    "elapsed_s": round(elapsed, 3)})
+        self._log({"event": "audit_summary",
+                   "reports": self.audit_reports,
+                   "checked": self.audit_checked,
+                   "violations": self.audit_violations,
+                   "failed_points": self.audit_failed_points or None})
         return text

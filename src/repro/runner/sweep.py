@@ -132,11 +132,15 @@ def resolve_worker(fn: str) -> Callable[[Mapping[str, Any], Optional[int]], Any]
 def run_points_serial(points: Iterable[Point]) -> Dict[str, Any]:
     """Execute points in-process, in order — the ``--jobs 1`` reference
     path and the substrate for :func:`repro.experiments.run_experiment`."""
+    from ..audit import drain_reports
     results: Dict[str, Any] = {}
     done: Dict[str, Any] = {}  # content_key -> value (intra-sweep dedupe)
     for point in points:
         if point.content_key not in done:
             worker = resolve_worker(point.fn)
             done[point.content_key] = worker(dict(point.params), point.seed)
+            # Point boundary: clear the conservation-audit mailbox so the
+            # in-process path never accumulates reports across points.
+            drain_reports()
         results[point.point_id] = done[point.content_key]
     return results

@@ -49,6 +49,9 @@ class Measurement:
     dropped: float
     flows: List[FlowMetrics] = field(default_factory=list)
     extras: Dict[str, float] = field(default_factory=dict)
+    #: End-of-run conservation report (repro.audit), as
+    #: ``AuditReport.to_dict()``; None when auditing was not enabled.
+    audit: Optional[Dict] = None
 
     def flow(self, name: str) -> Optional[FlowMetrics]:
         for fm in self.flows:

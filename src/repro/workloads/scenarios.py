@@ -20,6 +20,7 @@ from typing import Callable, List, Optional, Tuple
 from ..apps.erpc import ErpcConfig, ErpcServer
 from ..apps.kvstore import KvStore
 from ..apps.linefs import LineFsConfig, LineFsServer
+from ..audit import Reconciler, build_ledger, record_report
 from ..core import CeioConfig
 from ..faults import FaultController, FaultPlan
 from ..hw import CacheConfig, HostConfig
@@ -106,6 +107,7 @@ class Scenario:
         self.involved: List[Tuple[Flow, ErpcServer, SaturatingSource]] = []
         self.bypass: List[Tuple[Flow, LineFsServer, SaturatingSource]] = []
         self.fault_controller: Optional[FaultController] = None
+        self.reconciler: Optional[Reconciler] = None
         self._built = False
 
     def _build_arch(self, host_config: HostConfig):
@@ -131,6 +133,7 @@ class Scenario:
             self.fault_controller = FaultController(
                 self.testbed, cfg.faults, scenario=self)
             self.fault_controller.arm()
+        self.reconciler = Reconciler(build_ledger(self.testbed, self.arch))
         self._built = True
         return self
 
@@ -227,19 +230,54 @@ class Scenario:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    #: Interval between mid-run conservation barriers under
+    #: ``REPRO_SIM_DEBUG=1``, ns.
+    AUDIT_BARRIER_NS = 50 * US
+
     def run_measure(self, warmup: Optional[float] = None,
                     duration: Optional[float] = None) -> Measurement:
-        """Warm up, then measure one steady-state window."""
+        """Warm up, then measure one steady-state window.
+
+        Every window ends with a full cross-layer reconciliation: the
+        report is attached to the measurement and queued for the runner's
+        audit collector. Under ``REPRO_SIM_DEBUG=1`` the run additionally
+        checks the barrier-safe accounts every :attr:`AUDIT_BARRIER_NS`.
+        """
         cfg = self.config
         if not self._built:
             self.build()
         sim = self.testbed.sim
-        sim.run(until=sim.now + (cfg.warmup if warmup is None else warmup))
+        self._run(sim.now + (cfg.warmup if warmup is None else warmup))
         window = MeasurementWindow(self.testbed, self.arch)
-        sim.run(until=sim.now + (cfg.duration if duration is None else duration))
+        self._run(sim.now + (cfg.duration if duration is None else duration))
         measurement = window.finish()
         measurement.extras.update(self._arch_extras())
+        if self.reconciler is not None:
+            report = self.reconciler.check(now=sim.now)
+            measurement.audit = report.to_dict()
+            record_report(report)
         return measurement
+
+    def _run(self, until: float) -> None:
+        """Advance the simulation, reconciling at periodic barriers when
+        the debug sanitizer is on.
+
+        The barrier checks run from *outside* the event loop — between
+        ``sim.run()`` chunks, never as an injected process — so debug mode
+        keeps its contract of changing no results, only adding checks.
+        """
+        sim = self.testbed.sim
+        if self.reconciler is None or not sim.debug:
+            sim.run(until=until)
+            return
+        while True:
+            step_until = min(until, sim.now + self.AUDIT_BARRIER_NS)
+            sim.run(until=step_until)
+            report = self.reconciler.check(now=sim.now, barrier_only=True)
+            if not report.ok:
+                record_report(report)
+            if step_until >= until:
+                return
 
     def run_phases(self, actions: List[Callable[["Scenario"], None]],
                    phase_warmup: Optional[float] = None,

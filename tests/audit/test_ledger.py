@@ -1,0 +1,102 @@
+"""Unit tests for the conservation ledger primitive (repro.audit.ledger)."""
+
+import pytest
+
+from repro.audit.ledger import Account, Ledger, read_source
+from repro.sim.stats import Counter
+
+
+class Box:
+    def __init__(self, n):
+        self.n = n
+
+
+def test_read_source_kinds():
+    counter = Counter("c")
+    counter.add(3)
+    assert read_source(counter) == 3
+    assert read_source((Box(7), "n")) == 7
+    assert read_source(lambda: 11.5) == 11.5
+
+
+def test_exact_account_balances():
+    inflow = Counter("in")
+    outflow = Counter("out")
+    resident = Box(0)
+    acct = (Account("layer", "packets")
+            .debit("inflow", inflow)
+            .credit("outflow", outflow)
+            .credit("resident", (resident, "n")))
+    inflow.add(10)
+    outflow.add(6)
+    resident.n = 4
+    snap = acct.snapshot()
+    assert snap["ok"]
+    assert snap["delta"] == 0
+    assert snap["debits"] == {"inflow": 10}
+    assert snap["credits"] == {"outflow": 6, "resident": 4}
+
+
+def test_exact_account_detects_leak_in_both_directions():
+    inflow = Counter("in")
+    outflow = Counter("out")
+    acct = Account("layer", "packets").debit("in", inflow).credit(
+        "out", outflow)
+    inflow.add(5)
+    outflow.add(3)
+    snap = acct.snapshot()
+    assert not snap["ok"] and snap["delta"] == 2
+    outflow.add(4)
+    snap = acct.snapshot()
+    assert not snap["ok"] and snap["delta"] == -2
+
+
+def test_tolerance_absorbs_float_dust():
+    acct = Account("credits", "credits", tolerance=1e-6)
+    acct.debit("total", lambda: 96.0)
+    acct.credit("held", lambda: 96.0 + 1e-9)
+    assert acct.snapshot()["ok"]
+
+
+def test_bounded_account_allows_slack_but_not_negative_delta():
+    inflow = Counter("in")
+    outflow = Counter("out")
+    window = Box(1)
+    acct = (Account("handler", "packets", bounded=True)
+            .debit("in", inflow).credit("out", outflow)
+            .slack("window", (window, "n")))
+    inflow.add(4)
+    outflow.add(3)
+    assert acct.snapshot()["ok"]          # delta 1 <= slack 1
+    inflow.add(1)
+    assert not acct.snapshot()["ok"]      # delta 2 > slack 1
+    window.n = 2
+    assert acct.snapshot()["ok"]
+    outflow.add(5)
+    assert not acct.snapshot()["ok"]      # delta -3 < 0: bounded is one-sided
+
+
+def test_capacity_invariant_shape():
+    occupancy = Box(90)
+    acct = (Account("cap", "bytes", bounded=True)
+            .debit("resident", (occupancy, "n"))
+            .slack("capacity", lambda: 100))
+    assert acct.snapshot()["ok"]
+    occupancy.n = 101
+    assert not acct.snapshot()["ok"]
+
+
+def test_unknown_unit_rejected():
+    with pytest.raises(ValueError, match="unknown unit"):
+        Account("x", "florins")
+
+
+def test_ledger_create_or_fetch_and_order():
+    ledger = Ledger()
+    a = ledger.account("one", "packets")
+    b = ledger.account("two", "bytes")
+    assert ledger.account("one", "bytes") is a  # fetch ignores new params
+    assert a.unit == "packets"
+    assert [acct.name for acct in ledger] == ["one", "two"]
+    assert len(ledger) == 2
+    assert b.unit == "bytes"

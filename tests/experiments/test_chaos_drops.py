@@ -1,0 +1,40 @@
+"""Regression pins for the chaos descriptor_drop sweep's drop accounting.
+
+These exact totals changed when silent-drop accounting was fixed: before,
+``baseline``/``shring``/``hostcc`` lost DMA writes without routing them
+into per-flow ``rx.dropped`` (and so ``Measurement.dropped``). The pins
+below are the post-fix deterministic values at the chaos experiment's
+default seed — any accounting regression (drops double-counted, dropped
+again, or lost) moves them.
+"""
+
+import pytest
+
+from repro.experiments import chaos
+
+
+def _point(variant, magnitude):
+    for point in chaos.points(quick=True):
+        if (point.params["variant"] == variant
+                and point.params["magnitude"] == magnitude):
+            return point
+    raise AssertionError(f"no chaos point {variant} m{magnitude}")
+
+
+@pytest.mark.parametrize("variant,dropped_writes,dropped_total", [
+    # shring: 512 DMA writes silently dropped, plus ring-full drops the
+    # flows already saw -> 648 flow-visible drops across all windows.
+    ("shring", 512, 648),
+    # baseline: drops are almost all DMA-write drops; the remainder are
+    # ring-full admission drops.
+    ("baseline", 3520, 3950),
+])
+def test_descriptor_drop_totals_pinned(variant, dropped_writes,
+                                       dropped_total):
+    point = _point(variant, 1.0)
+    value = chaos.run_point(dict(point.params), point.seed)
+    assert value["dropped_writes"] == dropped_writes
+    assert value["dropped_total"] == dropped_total
+    # Flow-visible drops now include every silently lost DMA write.
+    assert value["dropped_total"] >= value["dropped_writes"]
+    assert value["audit_violations"] == 0

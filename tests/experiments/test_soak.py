@@ -1,0 +1,63 @@
+"""Soak harness: sampling determinism, gating, and a sampled-point run."""
+
+from repro.experiments import soak
+from repro.faults import FAULT_SITES, FaultPlan
+
+
+def test_sample_is_a_pure_function_of_the_seed():
+    a = soak.points(quick=True)
+    b = soak.points(quick=True)
+    assert [(p.point_id, p.seed, p.faults) for p in a] \
+        == [(p.point_id, p.seed, p.faults) for p in b]
+    c = soak.points(quick=True, seed=99)
+    assert [(p.point_id, p.seed, p.faults) for p in a] \
+        != [(p.point_id, p.seed, p.faults) for p in c]
+
+
+def test_sample_size_and_shape():
+    pts = soak.points(quick=True)
+    assert len(pts) >= 50
+    assert len({p.point_id for p in pts}) == len(pts)
+    archs = {p.params["arch"] for p in pts}
+    assert archs == set(soak.ARCHES)
+    assert any(p.params["faults"] for p in pts)
+    assert any(not p.params["faults"] for p in pts)
+    for p in pts:
+        plan = FaultPlan.from_dicts(p.params["faults"])
+        assert p.faults == plan.canonical()
+        for spec in plan:
+            assert spec.kind in FAULT_SITES[spec.site]
+            assert spec.finite
+    assert len(soak.points(quick=False)) > len(pts)
+
+
+def test_at_most_one_crash_per_plan():
+    for p in soak.points(quick=False):
+        crashes = sum(1 for f in p.params["faults"]
+                      if f["kind"] == "crash_restart")
+        assert crashes <= 1
+
+
+def test_faulted_sample_point_runs_clean():
+    point = next(p for p in soak.points(quick=True) if p.params["faults"])
+    value = soak.run_point(dict(point.params), point.seed)
+    assert value["checked"] > 0
+    assert value["violations"] == []
+
+
+def test_collect_gates_on_violations():
+    pts = soak.points(quick=True)
+    healthy = {p.point_id: {"mpps": 1.0, "dropped": 0.0, "checked": 15,
+                            "violations": []} for p in pts}
+    result = soak.collect(healthy, quick=True)
+    assert result.all_passed
+
+    broken = dict(healthy)
+    broken[pts[3].point_id] = {
+        "mpps": 1.0, "dropped": 0.0, "checked": 15,
+        "violations": ["hw.llc: inserted owes evicted 64 bytes"]}
+    result = soak.collect(broken, quick=True)
+    assert not result.all_passed
+    rendered = result.render()
+    assert "sampled points balance" in rendered
+    assert "hw.llc" in rendered

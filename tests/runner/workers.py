@@ -49,3 +49,18 @@ def fail_then_ok(params, seed):
     if attempt < params["fail_times"]:
         raise RuntimeError(f"transient failure #{attempt}")
     return {"attempt": attempt}
+
+
+def audited(params, seed):
+    """Record one conservation-audit report; ``params["leak"]`` packets go
+    missing (0 = balanced)."""
+    from repro.audit import Ledger, Reconciler, record_report
+    leak = params.get("leak", 0)
+    ledger = Ledger()
+    (ledger.account("test.flow", "packets")
+     .debit("offered", lambda: 10)
+     .credit("delivered", lambda: 10 - leak))
+    record_report(Reconciler(ledger).check(now=1.0))
+    if params.get("dir"):
+        _attempt_count(params)
+    return {"leak": leak}

@@ -226,7 +226,10 @@ def test_token_bucket_never_exceeds_rate_plus_burst(rate, burst, takes):
 # Histogram percentiles
 # ---------------------------------------------------------------------------
 
-@given(values=st.lists(st.floats(1.0, 1e8), min_size=1, max_size=500),
+# Values stay <= 1e9: beyond the histogram's last bucket bound (~1e10) a
+# sample clamps into the final bucket, whose bound legitimately undershoots
+# the sample — the min/max bound below would not (and should not) hold.
+@given(values=st.lists(st.floats(1e-3, 1e9), min_size=1, max_size=500),
        ps=st.lists(st.floats(0, 100), min_size=2, max_size=6))
 @settings(max_examples=100, deadline=None)
 def test_histogram_percentiles_monotone_and_bounded(values, ps):
@@ -236,6 +239,29 @@ def test_histogram_percentiles_monotone_and_bounded(values, ps):
     ps = sorted(ps)
     results = [h.percentile(p) for p in ps]
     assert results == sorted(results)
-    assert results[-1] <= max(values) + 1e-6
-    # Percentile estimates never undershoot the minimum sample's bucket.
-    assert results[0] >= 0
+    # Every percentile lies within the recorded sample range: a bucket's
+    # upper bound is >= any sample it holds, and percentile() caps at the
+    # recorded max.
+    for r in results:
+        assert min(values) <= r <= max(values)
+
+
+@given(values=st.lists(st.floats(1e-3, 1e9), min_size=1, max_size=200),
+       split=st.integers(0, 200),
+       ps=st.lists(st.floats(0, 100), min_size=1, max_size=4))
+@settings(max_examples=50, deadline=None)
+def test_histogram_merge_matches_single_recording(values, split, ps):
+    split = min(split, len(values))
+    one = Histogram()
+    for v in values:
+        one.record(v)
+    a, b = Histogram(), Histogram()
+    for v in values[:split]:
+        a.record(v)
+    for v in values[split:]:
+        b.record(v)
+    a.merge(b)
+    assert a.count == one.count
+    assert a.min == one.min and a.max == one.max
+    for p in ps:
+        assert a.percentile(p) == one.percentile(p)
