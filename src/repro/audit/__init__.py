@@ -24,9 +24,10 @@ from typing import Any, Dict, List, Optional
 
 from .ledger import Account, Ledger
 from .reconcile import AuditReport, Reconciler
-from .wiring import build_ledger
+from .wiring import build_fabric_ledger, build_ledger
 
 __all__ = ["Account", "AuditReport", "Ledger", "Reconciler", "build_ledger",
+           "build_fabric_ledger",
            "record_report", "drain_reports", "pending_report_count"]
 
 #: Reports recorded since the last drain. Process-local by construction:

@@ -26,7 +26,23 @@ from __future__ import annotations
 
 from .ledger import Ledger
 
-__all__ = ["build_ledger"]
+__all__ = ["build_ledger", "build_fabric_ledger", "register_host_accounts"]
+
+
+class _PrefixedLedger:
+    """A view of a :class:`Ledger` that prefixes every account name —
+    how one fabric-wide ledger hosts per-host account families
+    (``"<host>.net.port"``, ``"<host>.arch...."``) without the
+    architectures' ``audit_register`` hooks knowing about hosts."""
+
+    __slots__ = ("_ledger", "_prefix")
+
+    def __init__(self, ledger: Ledger, prefix: str):
+        self._ledger = ledger
+        self._prefix = prefix
+
+    def account(self, name: str, unit: str, **kwargs):
+        return self._ledger.account(self._prefix + name, unit, **kwargs)
 
 
 def _register_network(ledger: Ledger, port, nic) -> None:
@@ -141,6 +157,18 @@ def _register_llc(ledger: Ledger, llc) -> None:
         ways.slack("ddio_ways", (llc, "ddio_ways"))
 
 
+def register_host_accounts(ledger, port, host, arch) -> None:
+    """Register the standard per-host account set (network, NIC, DMA
+    path, LLC, plus the architecture's own equations) on ``ledger`` —
+    which may be a :class:`_PrefixedLedger` view for multi-host fabrics.
+    """
+    _register_network(ledger, port, host.nic)
+    _register_nic(ledger, host.nic, arch)
+    _register_dma_path(ledger, host)
+    _register_llc(ledger, host.llc)
+    arch.audit_register(ledger)
+
+
 def build_ledger(testbed, arch=None) -> Ledger:
     """Build the cross-layer conservation ledger for ``testbed``.
 
@@ -152,9 +180,42 @@ def build_ledger(testbed, arch=None) -> Ledger:
     if arch is None:
         raise ValueError("testbed has no installed I/O architecture")
     ledger = Ledger()
-    _register_network(ledger, testbed.port, testbed.host.nic)
-    _register_nic(ledger, testbed.host.nic, arch)
-    _register_dma_path(ledger, testbed.host)
-    _register_llc(ledger, testbed.host.llc)
-    arch.audit_register(ledger)
+    register_host_accounts(ledger, testbed.port, testbed.host, arch)
+    return ledger
+
+
+def build_fabric_ledger(fabric) -> Ledger:
+    """One conservation ledger for a compiled :class:`repro.topo.Fabric`.
+
+    Every endpoint (server host) contributes the standard per-host
+    account set under its name prefix — for a legacy-named two-host
+    fabric the prefix is empty, so the ledger is byte-identical to
+    :func:`build_ledger` on the historical ``Testbed``. Every interior
+    (switch-to-switch) egress additionally contributes a
+    ``switch.<name>.port.<i>`` pair: the port equation (offered packets
+    are dropped, queued, or transmitted) and the wire equation
+    (transmitted packets are in flight or were handed to the next
+    switch's ingress dispatch).
+    """
+    ledger = Ledger()
+    for endpoint in fabric.endpoints.values():
+        if endpoint.io_arch is None:
+            raise ValueError(
+                f"host {endpoint.name!r} has no installed I/O architecture")
+        view = (ledger if endpoint.prefix == ""
+                else _PrefixedLedger(ledger, endpoint.prefix))
+        register_host_accounts(view, endpoint.port, endpoint.host,
+                               endpoint.io_arch)
+    for switch, index, port, forwarded in fabric.interior_ports():
+        base = f"switch.{switch}.port.{index}"
+        acct = ledger.account(base, "packets", barrier_safe=True)
+        acct.debit("offered", port.rx_offered)
+        acct.credit("fault_dropped", port.fault_dropped)
+        acct.credit("tail_dropped", port.dropped_packets)
+        acct.credit("transmitted", port.tx_packets)
+        acct.credit("queued", (port, "queued_packets"))
+        wire = ledger.account(f"{base}.wire", "packets", barrier_safe=True)
+        wire.debit("transmitted", port.tx_packets)
+        wire.credit("in_flight", (port, "wire_inflight"))
+        wire.credit("forwarded", forwarded)
     return ledger

@@ -25,6 +25,7 @@ from . import (
     fig09,
     fig11,
     fig12,
+    incast,
     lessons,
     limits,
     soak,
@@ -91,6 +92,9 @@ _SPECS: List[ExperimentSpec] = [
                  "CEIO fast/slow path bandwidth vs raw ib_write_bw"),
     _module_spec("fig12", fig12,
                  "Aggregate throughput under UD flow churn (512B echo)"),
+    _module_spec("incast", incast,
+                 "Incast fan-in sweep: N clients x arch on the star "
+                 "topology (repro.topo / repro.scenario)"),
     _module_spec("table2", table2,
                  "P99/P99.9 latency under the 512B echo workload"),
     _module_spec("table3", table3,

@@ -68,6 +68,12 @@ class FaultSpec:
     #: Override for the RNG stream name (default: ``faults.<i>.<site>.<kind>``).
     stream: str = ""
     params: Tuple[Tuple[str, Any], ...] = field(default_factory=tuple)
+    #: Target host for multi-host fabrics (:mod:`repro.topo`): the fault
+    #: is injected at that server's endpoint. ``None`` — the only value
+    #: meaningful on the single-host ``Testbed`` — targets the fabric's
+    #: first (primary) server and keeps the canonical JSON byte-identical
+    #: to pre-multi-host plans, so historical cache keys never move.
+    host: Optional[str] = None
 
     def __post_init__(self):
         kinds = FAULT_SITES.get(self.site)
@@ -102,8 +108,13 @@ class FaultSpec:
         return math.isfinite(self.duration)
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-safe dict (an unbounded duration becomes ``None``)."""
-        return {
+        """JSON-safe dict (an unbounded duration becomes ``None``).
+
+        ``host`` is emitted only when set: single-host plans keep their
+        historical serialisation (and thus ``FaultPlan.canonical()``
+        output and every derived cache key) byte for byte.
+        """
+        data = {
             "site": self.site,
             "kind": self.kind,
             "start": self.start,
@@ -113,6 +124,9 @@ class FaultSpec:
             "stream": self.stream,
             "params": {k: v for k, v in self.params},
         }
+        if self.host is not None:
+            data["host"] = self.host
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
@@ -123,7 +137,8 @@ class FaultSpec:
                    magnitude=float(data.get("magnitude", 1.0)),
                    flow=data.get("flow"),
                    stream=data.get("stream", ""),
-                   params=tuple((data.get("params") or {}).items()))
+                   params=tuple((data.get("params") or {}).items()),
+                   host=data.get("host"))
 
 
 class FaultPlan:
@@ -152,6 +167,19 @@ class FaultPlan:
 
     def __repr__(self) -> str:
         return f"FaultPlan({list(self.specs)!r})"
+
+    # ------------------------------------------------------------------
+    def split_by_host(self, primary: str) -> Dict[str, "FaultPlan"]:
+        """Partition the plan per target host for a multi-host fabric.
+
+        Specs without a ``host`` qualifier go to ``primary`` (the
+        fabric's first server), preserving single-host semantics. Hosts
+        appear in first-mention order; empty hosts are absent.
+        """
+        buckets: Dict[str, List[FaultSpec]] = {}
+        for spec in self.specs:
+            buckets.setdefault(spec.host or primary, []).append(spec)
+        return {host: FaultPlan(specs) for host, specs in buckets.items()}
 
     # ------------------------------------------------------------------
     def to_dicts(self) -> List[Dict[str, Any]]:

@@ -33,6 +33,8 @@ SIM_PACKAGES: Tuple[str, ...] = (
     "repro.apps",
     "repro.frameworks",
     "repro.workloads",
+    "repro.topo",
+    "repro.scenario",
 )
 
 

@@ -32,6 +32,17 @@ class FabricConfig:
     switch_buffer: int = 2_000_000
     #: DCTCP marking threshold K, bytes.
     ecn_threshold: int = 300_000
+    #: Reverse (ACK) path delay, ns. ``None`` keeps the historical
+    #: symmetric path (ACKs take ``one_way_delay``) bit for bit; set it
+    #: to model an asymmetric reverse path. Multi-link topologies
+    #: (:mod:`repro.topo`) carry this per link instead.
+    ack_delay: Optional[float] = None
+
+    @property
+    def reverse_delay(self) -> float:
+        """The effective ACK-path delay."""
+        return (self.one_way_delay if self.ack_delay is None
+                else self.ack_delay)
 
 
 class Testbed:
@@ -58,6 +69,10 @@ class Testbed:
         self.senders: Dict[int, DctcpSender] = {}
         self.flows: List[Flow] = []
         self.io_arch = None
+        #: The currently open MeasurementWindow, if any. Maintained by
+        #: :class:`repro.workloads.measure.MeasurementWindow` so late
+        #: flow registration can be caught (see :meth:`add_flow`).
+        self.active_window = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -68,16 +83,37 @@ class Testbed:
         io_arch.ack = self.ack
         self.host.nic.install_handler(io_arch)
 
-    def add_flow(self, flow: Flow) -> DctcpSender:
+    def add_flow(self, flow: Flow, late_ok: bool = False) -> DctcpSender:
         """Create the sender-side transport for ``flow`` and register it
-        with the installed I/O architecture."""
+        with the installed I/O architecture.
+
+        Adding a flow while a :class:`MeasurementWindow` is open is an
+        error unless ``late_ok`` is set: the open window snapshotted its
+        counters at warm-up end, so a silently added flow would be
+        excluded from metrics (``finish()`` skips unmarked flows) even
+        though its packets land in every conservation account. Callers
+        that legitimately register mid-window (the §5 crash/restart
+        re-registration path) pass ``late_ok=True``; the flow is then
+        reported from its registration point onward.
+        """
         if self.io_arch is None:
             raise RuntimeError("install_io_arch() before add_flow()")
+        window = self.active_window
+        if window is not None and not late_ok:
+            raise RuntimeError(
+                f"add_flow({flow.name!r}) after measurement started at "
+                f"t={window.t_start:g} ns: the open MeasurementWindow "
+                "would silently exclude this flow from its metrics. Add "
+                "flows before the window opens, or pass late_ok=True — "
+                "the flow is then announced to the window via "
+                "note_new_flow() and measured from registration onward.")
         sender = DctcpSender(self.sim, flow, self.port.send,
                              self.dctcp_config)
         self.senders[flow.flow_id] = sender
         self.flows.append(flow)
         self.io_arch.register_flow(flow)
+        if window is not None:
+            window.note_new_flow(flow)
         return sender
 
     # ------------------------------------------------------------------
@@ -98,7 +134,7 @@ class Testbed:
         if sender is None:
             return
         marked = packet.ecn_marked or extra_mark
-        self.sim.call_later(self.fabric_config.one_way_delay,
+        self.sim.call_later(self.fabric_config.reverse_delay,
                             sender.on_ack, packet.seq, marked)
 
     def run(self, until: float) -> None:

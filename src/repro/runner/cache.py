@@ -121,6 +121,7 @@ class ResultCache:
             "params": dict(point.params),
             "seed": point.seed,
             "faults": point.faults or None,
+            "scenario": point.scenario or None,
             "fingerprint": self.fingerprint,
             "elapsed_s": elapsed,
             "saved_at": time.time(),

@@ -71,17 +71,26 @@ class Point:
     #: must never be served for a faulted run, even if the worker reads the
     #: plan from ``params`` and an older cache entry predates the field.
     faults: str = ""
+    #: Canonical JSON of the point's scenario spec
+    #: (``repro.scenario.canonical()``), "" for hand-built scenarios.
+    #: Part of identity for the same reason as ``faults``: a result
+    #: computed for one declarative scenario must never be served for
+    #: another, while hand-built points keep their historical keys.
+    scenario: str = ""
 
     @property
     def content_key(self) -> str:
         """Cross-experiment identity: same worker+params+seed = same point.
 
-        Healthy points keep the historical three-field format, so every
-        pre-faults cache entry and golden key stays valid byte for byte.
+        Healthy hand-built points keep the historical three-field format,
+        so every pre-faults / pre-scenario cache entry and golden key
+        stays valid byte for byte.
         """
         key = f"{self.fn}|{canonical_params(self.params)}|{self.seed}"
         if self.faults:
             key += f"|faults={self.faults}"
+        if self.scenario:
+            key += f"|scenario={self.scenario}"
         return key
 
     @property
@@ -94,14 +103,15 @@ class Point:
 
 def make_point(exp_id: str, fn: str, params: Mapping[str, Any],
                root_seed: Optional[int], default_seed: Optional[int],
-               label: str = "", faults: str = "") -> Point:
+               label: str = "", faults: str = "",
+               scenario: str = "") -> Point:
     """Build a point, resolving its seed per the determinism contract."""
     if root_seed is None:
         seed = default_seed
     else:
         seed = derive_seed(root_seed, fn, params)
     return Point(exp_id=exp_id, fn=fn, params=dict(params), seed=seed,
-                 label=label, faults=faults)
+                 label=label, faults=faults, scenario=scenario)
 
 
 def grid(**axes: Iterable[Any]) -> List[Dict[str, Any]]:

@@ -1,0 +1,22 @@
+"""Declarative scenarios: schema, templates, CLI (``docs/SCENARIOS.md``).
+
+A scenario is a validated JSON/dict description of one multi-host
+experiment — topology, per-host I/O architectures, tenants, fault plan,
+measurement window. :func:`validate` normalises (path-addressed errors),
+:func:`canonical` serialises deterministically (the runner's
+``scenario=`` cache-key component), :func:`template` resolves the
+shipped named scenarios, and ``python -m repro.scenario`` exposes
+``validate`` / ``show`` / ``list-templates`` / ``run``.
+"""
+
+from __future__ import annotations
+
+from .schema import (ARCHES, SCHEMA_VERSION, TOPOLOGY_KINDS, WORKLOADS,
+                     ScenarioError, build_topology, canonical,
+                     fault_plan_of, normalize, validate)
+from .templates import TEMPLATE_NAMES, describe, incast_template, template
+
+__all__ = ["ScenarioError", "SCHEMA_VERSION", "ARCHES", "WORKLOADS",
+           "TOPOLOGY_KINDS", "validate", "normalize", "canonical",
+           "build_topology", "fault_plan_of",
+           "TEMPLATE_NAMES", "template", "describe", "incast_template"]

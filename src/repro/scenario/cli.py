@@ -1,0 +1,135 @@
+"""``python -m repro.scenario`` — validate / show / list-templates / run.
+
+Scenario arguments resolve first against the shipped template names,
+then as JSON file paths; ``validate`` accepts any number of either.
+``run`` compiles and executes a scenario and prints per-host steady-state
+metrics as sorted JSON (byte-identical for a fixed seed, any ``--jobs``,
+any machine — the determinism contract of ``docs/SCENARIOS.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from .schema import ScenarioError, canonical, validate
+from .templates import TEMPLATE_NAMES, describe, template
+
+__all__ = ["main"]
+
+
+def _load(ref: str) -> Dict[str, Any]:
+    """Resolve a scenario reference: template name first, then file."""
+    if ref in TEMPLATE_NAMES:
+        return template(ref)
+    try:
+        with open(ref, encoding="utf-8") as fh:
+            return json.load(fh)
+    except FileNotFoundError:
+        raise ScenarioError(
+            "", f"{ref!r} is neither a shipped template "
+            f"({list(TEMPLATE_NAMES)}) nor a readable file") from None
+    except json.JSONDecodeError as exc:
+        raise ScenarioError("", f"{ref}: not valid JSON ({exc})") from None
+
+
+def _cmd_list_templates(_args) -> int:
+    for name in TEMPLATE_NAMES:
+        print(f"{name:22s} {describe(name)}")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    failures = 0
+    for ref in args.scenario:
+        try:
+            normal = validate(_load(ref))
+        except ScenarioError as exc:
+            print(f"FAIL {ref}: {exc}")
+            failures += 1
+            continue
+        label = normal["name"] or ref
+        print(f"ok   {ref}"
+              + (f" ({label})" if label != ref else ""))
+    return 1 if failures else 0
+
+
+def _cmd_show(args) -> int:
+    try:
+        normal = validate(_load(args.scenario))
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.canonical:
+        print(canonical(normal))
+    else:
+        print(json.dumps(normal, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    try:
+        normal = validate(_load(args.scenario))
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.seed is not None:
+        normal["seed"] = args.seed
+    # Imported here so `validate` / `show` stay usable without pulling in
+    # the whole simulator stack.
+    from ..workloads.topo_scenario import compile_scenario
+    scenario = compile_scenario(normal)
+    results = scenario.run()
+    payload = {"scenario": normal["name"] or args.scenario,
+               "seed": normal["seed"],
+               "hosts": results}
+    print(json.dumps(payload, sort_keys=True))
+    if args.strict_audit:
+        for host, metrics in sorted(results.items()):
+            audit = metrics.get("audit") or {}
+            if not audit.get("ok", True):
+                print(f"error: conservation violations on {host}: "
+                      f"{audit.get('violations')}", file=sys.stderr)
+                return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenario",
+        description="Validate, inspect, and run declarative scenarios.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-templates",
+                   help="list shipped scenario templates"
+                   ).set_defaults(func=_cmd_list_templates)
+
+    p_validate = sub.add_parser(
+        "validate", help="validate templates or scenario files")
+    p_validate.add_argument("scenario", nargs="+",
+                            help="template name or JSON file")
+    p_validate.set_defaults(func=_cmd_validate)
+
+    p_show = sub.add_parser(
+        "show", help="print a scenario's normalised form")
+    p_show.add_argument("scenario", help="template name or JSON file")
+    p_show.add_argument("--canonical", action="store_true",
+                        help="compact canonical JSON (the cache-key form)")
+    p_show.set_defaults(func=_cmd_show)
+
+    p_run = sub.add_parser(
+        "run", help="compile and run a scenario, print per-host metrics")
+    p_run.add_argument("scenario", help="template name or JSON file")
+    p_run.add_argument("--seed", type=int, default=None,
+                       help="override the scenario's seed")
+    p_run.add_argument("--strict-audit", action="store_true",
+                       help="exit non-zero on conservation violations")
+    p_run.set_defaults(func=_cmd_run)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)

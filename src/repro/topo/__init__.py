@@ -1,0 +1,18 @@
+"""Multi-host topologies for the CEIO testbed (see ``docs/SCENARIOS.md``).
+
+:mod:`repro.topo.graph` defines the validated :class:`Topology` data
+model (hosts, switches, attributed links, deterministic routing);
+:mod:`repro.topo.builders` provides the canonical shapes (``two_host``,
+``star``, ``leaf_spine``, ``fat_tree``); :mod:`repro.topo.fabric`
+compiles a topology into one simulator with per-host receiver stacks.
+"""
+
+from __future__ import annotations
+
+from .builders import fat_tree, leaf_spine, star, two_host
+from .fabric import Fabric, HostEndpoint, HostRng, SwitchNode
+from .graph import HostSpec, LinkSpec, Topology
+
+__all__ = ["Topology", "HostSpec", "LinkSpec",
+           "two_host", "star", "leaf_spine", "fat_tree",
+           "Fabric", "HostEndpoint", "HostRng", "SwitchNode"]

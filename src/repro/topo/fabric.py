@@ -1,0 +1,333 @@
+"""Compile a :class:`~repro.topo.graph.Topology` into a live fabric.
+
+One :class:`Fabric` owns one :class:`~repro.sim.Simulator` and one
+:class:`~repro.sim.RngRegistry` for the whole topology. Each *server*
+host becomes a :class:`HostEndpoint` — a full receiver stack (``Host``
+hardware model, I/O architecture, last-hop ``SwitchPort``) that presents
+the legacy ``Testbed`` surface (``sim`` / ``rng`` / ``host`` / ``port`` /
+``flows`` / ``install_io_arch`` / ``add_flow`` / ``ack``), so measurement
+windows, conservation ledgers, and fault controllers work per host
+without modification. Each switch becomes a :class:`SwitchNode` with one
+``SwitchPort`` per *used* egress; interior (switch-to-switch) hops count
+forwarded packets so ``switch.<name>.port.<i>`` conservation accounts
+close (see :func:`repro.audit.wiring.build_fabric_ledger`).
+
+Determinism:
+
+- RNG streams are namespaced ``"<host>.<stream>"`` via :class:`HostRng`,
+  so adding a host never perturbs another host's draws. Topologies built
+  by :func:`repro.topo.builders.two_host` keep the legacy *unprefixed*
+  names — that, plus identical construction order (Simulator, registry,
+  Host, then the single ToR port), is what makes the compiled two-host
+  fabric bit-identical to ``repro.net.fabric.Testbed``.
+- Equal-cost multipath ties are broken by the fabric's own flow
+  registration counter (``index % len(candidates)`` over name-sorted
+  candidates), never by global flow ids, which depend on what ran
+  earlier in the process.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..hw import Host, HostConfig
+from ..net.dctcp import DctcpConfig, DctcpSender
+from ..net.link import SwitchPort
+from ..net.packet import Flow, Packet
+from ..sim import RngRegistry, Simulator
+from ..sim.stats import Counter
+from .graph import LinkSpec, Topology
+
+__all__ = ["Fabric", "HostEndpoint", "HostRng", "SwitchNode"]
+
+
+class HostRng:
+    """A per-host view of the fabric's shared :class:`RngRegistry`: every
+    stream name is prefixed with ``"<host>."``, so one host's draw order
+    is independent of every other host's."""
+
+    __slots__ = ("_registry", "prefix")
+
+    def __init__(self, registry: RngRegistry, prefix: str):
+        self._registry = registry
+        self.prefix = prefix
+
+    @property
+    def root_seed(self) -> int:
+        return self._registry.root_seed
+
+    def stream(self, name: str):
+        return self._registry.stream(self.prefix + name)
+
+    def spawn(self, name: str) -> RngRegistry:
+        return self._registry.spawn(self.prefix + name)
+
+
+class SwitchNode:
+    """One switch of a compiled fabric: its used egress ports (creation
+    order = audit port index) and, for interior ports, the forwarded-
+    packet counters the conservation accounts balance against."""
+
+    __slots__ = ("name", "ports", "forwarded")
+
+    def __init__(self, name: str):
+        self.name = name
+        #: neighbor node name -> egress SwitchPort, in creation order.
+        self.ports: Dict[str, SwitchPort] = {}
+        #: neighbor switch name -> Counter of packets this egress handed
+        #: to that switch's ingress dispatch (interior ports only).
+        self.forwarded: Dict[str, Counter] = {}
+
+    def port_index(self, neighbor: str) -> int:
+        return list(self.ports).index(neighbor)
+
+
+class HostEndpoint:
+    """One server host, presenting the legacy ``Testbed`` surface."""
+
+    def __init__(self, fabric: "Fabric", name: str, prefix: str,
+                 host_config: Optional[HostConfig]):
+        self.fabric = fabric
+        self.name = name
+        #: RNG / audit-account name prefix ("" in legacy two-host mode).
+        self.prefix = prefix
+        self.sim = fabric.sim
+        self.rng = (fabric.rng if prefix == ""
+                    else HostRng(fabric.rng, prefix))
+        self.host = Host(self.sim, host_config, name=name, rng=self.rng)
+        #: The last-hop egress port toward this host (set at port wiring).
+        self.port: Optional[SwitchPort] = None
+        #: Flows terminating at this host, in registration order.
+        self.flows: List[Flow] = []
+        self.io_arch = None
+        #: The open MeasurementWindow, if any (see workloads.measure).
+        self.active_window = None
+
+    # -- legacy Testbed surface ----------------------------------------
+    @property
+    def senders(self) -> Dict[int, DctcpSender]:
+        """The fabric-wide sender table (senders live host-side on the
+        *clients*; the shared dict keeps crash semantics identical to
+        the legacy testbed's)."""
+        return self.fabric.senders
+
+    def install_io_arch(self, io_arch) -> None:
+        """Attach the receive-side I/O architecture to this host's NIC."""
+        self.io_arch = io_arch
+        io_arch.ack = self.ack
+        self.host.nic.install_handler(io_arch)
+
+    def add_flow(self, flow: Flow, src: Optional[str] = None,
+                 late_ok: bool = False) -> DctcpSender:
+        """Register ``flow`` from client ``src`` (default: the first
+        client host) toward this host."""
+        return self.fabric.add_flow(flow, src=src, dst=self.name,
+                                    late_ok=late_ok)
+
+    def _deliver(self, packet: Packet) -> None:
+        packet.arrival_time = self.sim.now
+        self.host.nic.receive(packet)
+
+    def ack(self, packet: Packet, extra_mark: bool = False) -> None:
+        """ACK an accepted packet along the flow's reverse path (the sum
+        of per-link ``ack_delay`` values, so asymmetric topologies are
+        expressible; symmetric defaults reproduce the legacy constant)."""
+        self.fabric.ack(packet, extra_mark)
+
+    def run(self, until: float) -> None:
+        self.sim.run(until=until)
+
+
+class Fabric:
+    """A compiled topology: hosts, switches, ports, routes, transports."""
+
+    def __init__(self, topology: Topology,
+                 host_config: Optional[HostConfig] = None,
+                 host_configs: Optional[Dict[str, HostConfig]] = None,
+                 dctcp_config: Optional[DctcpConfig] = None,
+                 seed: int = 0):
+        self.topology = topology
+        self.sim = Simulator()
+        self.rng = RngRegistry(seed)
+        self.dctcp_config = dctcp_config or DctcpConfig()
+        self.senders: Dict[int, DctcpSender] = {}
+        self.endpoints: Dict[str, HostEndpoint] = {}
+        self.switches: Dict[str, SwitchNode] = {
+            name: SwitchNode(name) for name in topology.switches}
+        #: (flow_id, switch) -> egress port the switch forwards on.
+        self._next_port: Dict[Tuple[int, str], SwitchPort] = {}
+        #: flow_id -> total reverse-path (ACK) delay, ns.
+        self._ack_delay: Dict[int, float] = {}
+        #: flow_id -> source host name (diagnostics / experiments).
+        self.flow_sources: Dict[int, str] = {}
+        self._flow_seq = 0
+
+        servers = topology.server_hosts
+        if not servers:
+            raise ValueError("topology has no server hosts")
+        #: Legacy-naming mode: unprefixed RNG streams and audit accounts
+        #: (only a single-server ``two_host()`` topology qualifies).
+        self.legacy = topology.legacy_names and len(servers) == 1
+        # Hosts first, then ports — the legacy Testbed construction order,
+        # which fixes process-creation order inside the kernel.
+        for spec in servers:
+            prefix = "" if self.legacy else f"{spec.name}."
+            self.endpoints[spec.name] = HostEndpoint(
+                self, spec.name, prefix,
+                (host_configs or {}).get(spec.name, host_config))
+        #: Per-destination next-hop candidate tables.
+        self._tables: Dict[str, Dict[str, Tuple[str, ...]]] = {
+            spec.name: topology.next_hops_toward(spec.name)
+            for spec in servers}
+        self._build_ports()
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def _build_ports(self) -> None:
+        """Create one ``SwitchPort`` per egress direction actually used
+        by some client->server route, in deterministic order (servers in
+        topology order, switches in topology order, candidates sorted)."""
+        topo = self.topology
+        plan: Dict[Tuple[str, str], LinkSpec] = {}
+        for spec in topo.server_hosts:
+            attach_sw, link = topo.attachment(spec.name)
+            plan.setdefault((attach_sw, spec.name), link)
+            table = self._tables[spec.name]
+            for sw in topo.switches:
+                for nbr in table.get(sw, ()):
+                    plan.setdefault((sw, nbr), topo.link_between(sw, nbr))
+        for (sw, nbr), link in plan.items():
+            node = self.switches[sw]
+            if nbr in self.endpoints:
+                endpoint = self.endpoints[nbr]
+                deliver = endpoint._deliver
+                name = link.name
+            else:
+                counter = Counter(f"{link.name}:{sw}>{nbr}.forwarded")
+                node.forwarded[nbr] = counter
+                deliver = self._make_forwarder(counter, nbr)
+                name = f"{link.name}:{sw}>{nbr}"
+            port = SwitchPort(
+                self.sim, rate=link.rate, propagation=link.delay,
+                deliver=deliver, buffer_bytes=link.buffer,
+                ecn_threshold=link.ecn_threshold, name=name)
+            node.ports[nbr] = port
+            if nbr in self.endpoints:
+                self.endpoints[nbr].port = port
+
+    def _make_forwarder(self, counter: Counter,
+                        next_switch: str) -> Callable[[Packet], None]:
+        """Ingress dispatch at ``next_switch``: count the handoff, then
+        send on the flow's pre-chosen egress out of that switch."""
+        next_port = self._next_port
+
+        def deliver(packet: Packet) -> None:
+            counter.add(1)
+            next_port[(packet.flow.flow_id, next_switch)].send(packet)
+
+        return deliver
+
+    # ------------------------------------------------------------------
+    # Flows
+    # ------------------------------------------------------------------
+    def add_flow(self, flow: Flow, src: Optional[str] = None,
+                 dst: Optional[str] = None, late_ok: bool = False
+                 ) -> DctcpSender:
+        """Create the sender-side transport for ``flow`` from client
+        ``src`` to server ``dst``, pin its route, and register it with
+        the destination's I/O architecture."""
+        topo = self.topology
+        if dst is None:
+            dst = next(iter(self.endpoints))
+        endpoint = self.endpoints[dst]
+        if endpoint.io_arch is None:
+            raise RuntimeError("install_io_arch() before add_flow()")
+        if src is None:
+            clients = topo.client_hosts
+            src = clients[0].name if clients else None
+        if src is None or src not in topo.hosts:
+            raise ValueError(f"unknown source host {src!r}")
+        window = endpoint.active_window
+        if window is not None and not late_ok:
+            raise RuntimeError(
+                f"add_flow({flow.name!r}) on {dst!r} after measurement "
+                f"started at t={window.t_start:g} ns: the open "
+                "MeasurementWindow would silently exclude the flow from "
+                "its metrics. Add flows before the window opens, or pass "
+                "late_ok=True and call window.note_new_flow(flow) after "
+                "registration.")
+
+        index = self._flow_seq
+        self._flow_seq += 1
+        src_sw, src_link = topo.attachment(src)
+        dst_sw, dst_link = topo.attachment(dst)
+        table = self._tables[dst]
+        if src_sw not in table:
+            raise ValueError(f"no route from {src!r} to {dst!r}")
+        path_links: List[LinkSpec] = [src_link]
+        sw = src_sw
+        while sw != dst_sw:
+            candidates = table[sw]
+            nxt = candidates[index % len(candidates)]
+            self._next_port[(flow.flow_id, sw)] = \
+                self.switches[sw].ports[nxt]
+            path_links.append(topo.link_between(sw, nxt))
+            sw = nxt
+        self._next_port[(flow.flow_id, dst_sw)] = \
+            self.switches[dst_sw].ports[dst]
+        path_links.append(dst_link)
+
+        entry_port = self._next_port[(flow.flow_id, src_sw)]
+        uplink = src_link.delay
+        if uplink == 0.0:
+            egress = entry_port.send
+        else:
+            egress = self._make_uplink(uplink, entry_port)
+        self._ack_delay[flow.flow_id] = sum(
+            link.reverse_delay for link in path_links)
+        sender = DctcpSender(self.sim, flow, egress, self.dctcp_config)
+        self.senders[flow.flow_id] = sender
+        self.flow_sources[flow.flow_id] = src
+        endpoint.flows.append(flow)
+        endpoint.io_arch.register_flow(flow)
+        if window is not None:
+            window.note_new_flow(flow)
+        return sender
+
+    def _make_uplink(self, delay: float,
+                     entry_port: SwitchPort) -> Callable[[Packet], None]:
+        """A client uplink with propagation delay but no serialisation
+        (uplinks are uncontended; queueing happens at switch egresses)."""
+        sim = self.sim
+        send = entry_port.send
+
+        def egress(packet: Packet) -> None:
+            sim.call_later(delay, send, packet)
+
+        return egress
+
+    # ------------------------------------------------------------------
+    # Reverse path
+    # ------------------------------------------------------------------
+    def ack(self, packet: Packet, extra_mark: bool = False) -> None:
+        sender = self.senders.get(packet.flow.flow_id)
+        if sender is None:
+            return
+        marked = packet.ecn_marked or extra_mark
+        self.sim.call_later(self._ack_delay[packet.flow.flow_id],
+                            sender.on_ack, packet.seq, marked)
+
+    def run(self, until: float) -> None:
+        self.sim.run(until=until)
+
+    # ------------------------------------------------------------------
+    def interior_ports(self) -> List[Tuple[str, int, SwitchPort, Counter]]:
+        """(switch, port index, port, forwarded counter) for every
+        switch-to-switch egress, in creation order — the audit hook."""
+        out = []
+        for node in self.switches.values():
+            for i, (nbr, port) in enumerate(node.ports.items()):
+                if nbr in node.forwarded:
+                    out.append((node.name, i, port, node.forwarded[nbr]))
+        return out

@@ -73,6 +73,10 @@ class MeasurementWindow:
         self._drop_mark = arch.rx_dropped.value
         for fid, rx in arch.flows.items():
             self._mark_flow(fid, rx)
+        # Announce the open window so late flow registration is either
+        # rejected (Testbed.add_flow without late_ok) or routed through
+        # note_new_flow instead of silently escaping the metrics.
+        testbed.active_window = self
 
     def _mark_flow(self, fid: int, rx: FlowRx) -> None:
         self._flow_marks[fid] = {
@@ -90,6 +94,8 @@ class MeasurementWindow:
             self._mark_flow(flow.flow_id, rx)
 
     def finish(self) -> Measurement:
+        if self.testbed.active_window is self:
+            self.testbed.active_window = None
         now = self.testbed.sim.now
         duration = now - self.t_start
         if duration <= 0:

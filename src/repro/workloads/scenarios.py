@@ -23,7 +23,7 @@ from ..apps.linefs import LineFsConfig, LineFsServer
 from ..audit import Reconciler, build_ledger, record_report
 from ..core import CeioConfig
 from ..faults import FaultController, FaultPlan
-from ..hw import CacheConfig, HostConfig
+from ..hw import CacheConfig, CpuConfig, HostConfig
 from ..io_arch import build_arch
 from ..io_arch.shring import ShringConfig
 from ..net import Flow, FlowKind, OpenLoopSource, SaturatingSource, Testbed
@@ -35,19 +35,26 @@ __all__ = ["ScenarioConfig", "Scenario", "scaled_host_config",
 
 
 def scaled_host_config(scale: int = 4, set_associative: bool = False,
-                       io_buf_size: int = 2048) -> HostConfig:
+                       io_buf_size: int = 2048,
+                       cores: Optional[int] = None) -> HostConfig:
     """The paper's testbed with the LLC divided by ``scale``.
 
     Only the cache shrinks: link, PCIe, DRAM, and ring sizes keep their
     real values, so the *pressure relationships* (rings vs DDIO capacity,
     shared ring vs DDIO capacity, credits vs DDIO capacity) are identical
     to the full-size testbed while transients are ``scale`` x shorter.
+    ``cores`` widens the receiver's core pool beyond the testbed's 16
+    (wide-fan-in scenarios dedicate one eRPC core per incoming flow);
+    ``None`` keeps the default.
     """
     if scale < 1:
         raise ValueError("scale must be >= 1")
     cache = CacheConfig(size=12 * MIB // scale,
                         set_associative=set_associative)
-    return HostConfig(cache=cache, io_buf_size=io_buf_size)
+    config = HostConfig(cache=cache, io_buf_size=io_buf_size)
+    if cores is not None:
+        config.cpu = CpuConfig(cores=cores)
+    return config
 
 
 def shring_entries_for(host_config: HostConfig) -> int:
@@ -143,7 +150,9 @@ class Scenario:
         cfg = self.config
         flow = Flow(FlowKind.CPU_INVOLVED, name=name,
                     message_payload=cfg.payload, packets_per_message=1)
-        sender = self.testbed.add_flow(flow)
+        # late_ok: the crash/restart fault path re-registers mid-window by
+        # design; add_flow announces the flow to any open window.
+        sender = self.testbed.add_flow(flow, late_ok=True)
         core = self.testbed.host.cpu.allocate()
         erpc_config = ErpcConfig(transport=cfg.transport)
         erpc_config.rpc_overhead_cycles += cfg.app_extra_cycles
@@ -176,7 +185,7 @@ class Scenario:
         flow = Flow(FlowKind.CPU_BYPASS, name=name,
                     message_payload=cfg.bypass_payload,
                     packets_per_message=cfg.chunk_packets)
-        sender = self.testbed.add_flow(flow)
+        sender = self.testbed.add_flow(flow, late_ok=True)
         core = self.testbed.host.cpu.allocate()
         server = LineFsServer(self.arch, core, config=cfg.linefs)
         server.attach_flow(flow)

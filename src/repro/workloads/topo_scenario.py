@@ -1,0 +1,306 @@
+"""Compile a validated scenario dict into a wired multi-host fabric.
+
+:class:`TopoScenario` is the declarative twin of the hand-built
+:class:`~repro.workloads.scenarios.Scenario`: it takes a schema dict
+(see :mod:`repro.scenario`), builds the topology, compiles it into a
+:class:`repro.topo.Fabric`, installs one I/O architecture per server
+host, wires each tenant's flows (erpc / kvstore / linefs) from its
+source clients, arms per-host fault controllers, and runs warm-up +
+measurement windows with the same debug-barrier auditing contract as
+the legacy scenario.
+
+Bit-compatibility: compiling the ``paper-baseline`` template (a
+``two_host`` topology) performs exactly the legacy construction
+sequence — Simulator, registry, Host, ToR port, architecture, KvStore,
+then flows ``kv0..`` with unprefixed ``client-stagger`` draws — so its
+measurements are byte-identical to ``Scenario(ScenarioConfig())``'s
+(pinned by ``tests/topo/test_two_host_compat.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..apps.erpc import ErpcConfig, ErpcServer
+from ..apps.kvstore import KvStore
+from ..apps.linefs import LineFsServer
+from ..audit import Reconciler, build_fabric_ledger, record_report
+from ..faults import FaultController
+from ..io_arch import build_arch
+from ..io_arch.shring import ShringConfig
+from ..net import Flow, FlowKind, OpenLoopSource, SaturatingSource
+from ..scenario import canonical, fault_plan_of, validate
+from ..scenario.schema import build_topology
+from ..sim.units import US
+from ..topo import Fabric, HostEndpoint
+from .measure import Measurement, MeasurementWindow
+from .scenarios import scaled_host_config, shring_entries_for
+
+__all__ = ["TopoScenario", "compile_scenario"]
+
+
+def echo_handler(ctx) -> float:
+    """The plain-eRPC application handler: echo, zero extra cycles."""
+    return 0.0
+
+
+class _FlowRecord:
+    """Bookkeeping for one wired flow (crash/restart needs the recipe)."""
+
+    __slots__ = ("flow", "server", "source", "tenant", "src")
+
+    def __init__(self, flow, server, source, tenant, src):
+        self.flow = flow
+        self.server = server
+        self.source = source
+        self.tenant = tenant
+        self.src = src
+
+
+class _HostView:
+    """The per-host scenario surface ``repro.faults`` injectors expect
+    (``involved`` + crash/restart), scoped to one endpoint."""
+
+    def __init__(self, scenario: "TopoScenario", host: str):
+        self._scenario = scenario
+        self._host = host
+
+    @property
+    def involved(self):
+        return [(rec.flow, rec.server, rec.source)
+                for rec in self._scenario.involved[self._host]]
+
+    def crash_involved_flow(self, index: int = 0) -> Optional[str]:
+        return self._scenario.crash_involved_flow(self._host, index)
+
+    def restart_involved_flow(self, name: str):
+        return self._scenario.restart_involved_flow(self._host, name)
+
+
+class TopoScenario:
+    """One compiled scenario: fabric + per-host stacks + tenants."""
+
+    #: Interval between mid-run conservation barriers under
+    #: ``REPRO_SIM_DEBUG=1``, ns (the legacy Scenario's contract).
+    AUDIT_BARRIER_NS = 50 * US
+
+    def __init__(self, spec: Mapping[str, Any]):
+        self.normal = validate(spec)
+        self.canonical = canonical(self.normal)
+        self.topology = build_topology(self.normal)
+        self.seed = self.normal["seed"]
+        hosts_cfg = self.normal["hosts"]
+        default_cfg = hosts_cfg["*"]
+        self._host_cfg: Dict[str, Dict[str, Any]] = {}
+        host_configs = {}
+        for spec_host in self.topology.server_hosts:
+            cfg = hosts_cfg.get(spec_host.name, default_cfg)
+            self._host_cfg[spec_host.name] = cfg
+            host_configs[spec_host.name] = scaled_host_config(
+                cfg["scale"], cfg["set_associative_cache"],
+                cfg["io_buf_size"], cores=cfg["cores"])
+        self.fabric = Fabric(self.topology, host_configs=host_configs,
+                             seed=self.seed)
+        self.primary = next(iter(self.fabric.endpoints))
+        for name, endpoint in self.fabric.endpoints.items():
+            endpoint.install_io_arch(
+                self._build_arch(endpoint, self._host_cfg[name],
+                                 host_configs[name]))
+        #: One KV store per server host (ErpcServer handlers close over
+        #: it); seeded like the legacy scenario's.
+        self.kv: Dict[str, KvStore] = {
+            name: KvStore(seed=self.seed) for name in self.fabric.endpoints}
+        self.involved: Dict[str, List[_FlowRecord]] = {
+            name: [] for name in self.fabric.endpoints}
+        self.bypass: Dict[str, List[_FlowRecord]] = {
+            name: [] for name in self.fabric.endpoints}
+        self._crashed: Dict[str, Dict[str, _FlowRecord]] = {
+            name: {} for name in self.fabric.endpoints}
+        self.fault_controllers: List[FaultController] = []
+        self.reconciler: Optional[Reconciler] = None
+        self._built = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_arch(self, endpoint: HostEndpoint, cfg: Mapping[str, Any],
+                    host_config):
+        if cfg["arch"] == "shring":
+            return build_arch(
+                "shring", endpoint.host,
+                config=ShringConfig(
+                    ring_entries=shring_entries_for(host_config)))
+        return build_arch(cfg["arch"], endpoint.host)
+
+    def build(self) -> "TopoScenario":
+        clients = [spec.name for spec in self.topology.client_hosts]
+        for tenant in self.normal["tenants"]:
+            sources = list(tenant["sources"]) or clients
+            if not sources:
+                sources = [spec.name for spec in self.topology.hosts.values()
+                           if spec.name != tenant["host"]]
+            for i in range(tenant["flows"]):
+                self._add_tenant_flow(tenant, f"{tenant['name']}{i}",
+                                      sources[i % len(sources)])
+        plan = fault_plan_of(self.normal)
+        if plan:
+            for host, host_plan in plan.split_by_host(self.primary).items():
+                controller = FaultController(
+                    self.fabric.endpoints[host], host_plan,
+                    scenario=_HostView(self, host))
+                controller.arm()
+                self.fault_controllers.append(controller)
+        self.reconciler = Reconciler(build_fabric_ledger(self.fabric))
+        self._built = True
+        return self
+
+    def _add_tenant_flow(self, tenant: Mapping[str, Any], name: str,
+                         src: str, late_ok: bool = False) -> _FlowRecord:
+        host = tenant["host"]
+        endpoint = self.fabric.endpoints[host]
+        arch = endpoint.io_arch
+        if tenant["workload"] == "linefs":
+            flow = Flow(FlowKind.CPU_BYPASS, name=name,
+                        message_payload=tenant["payload"],
+                        packets_per_message=tenant["chunk_packets"])
+            sender = self.fabric.add_flow(flow, src=src, dst=host,
+                                          late_ok=late_ok)
+            core = endpoint.host.cpu.allocate()
+            server = LineFsServer(arch, core)
+            server.attach_flow(flow)
+            server.start()
+            source = SaturatingSource(self.fabric.sim, sender,
+                                      outstanding=tenant["outstanding"])
+        else:
+            flow = Flow(FlowKind.CPU_INVOLVED, name=name,
+                        message_payload=tenant["payload"],
+                        packets_per_message=1)
+            sender = self.fabric.add_flow(flow, src=src, dst=host,
+                                          late_ok=late_ok)
+            core = endpoint.host.cpu.allocate()
+            erpc_config = ErpcConfig(transport=tenant["transport"])
+            erpc_config.rpc_overhead_cycles += tenant["app_extra_cycles"]
+            handler = (self.kv[host].handle
+                       if tenant["workload"] == "kvstore" else echo_handler)
+            server = ErpcServer(arch, flow, core, handler,
+                                config=erpc_config)
+            server.start()
+            if tenant["open_loop_mpps"] is not None:
+                rate = (tenant["open_loop_mpps"] * 1e-3
+                        / max(1, tenant["flows"]))
+                source = OpenLoopSource(
+                    self.fabric.sim, sender, rate_msgs_per_ns=rate,
+                    rng=endpoint.rng.stream(f"openloop-{name}"))
+            else:
+                source = SaturatingSource(self.fabric.sim, sender,
+                                          outstanding=tenant["outstanding"])
+        source.start(delay=self._stagger(endpoint))
+        record = _FlowRecord(flow, server, source, tenant, src)
+        bucket = (self.bypass if tenant["workload"] == "linefs"
+                  else self.involved)
+        bucket[host].append(record)
+        return record
+
+    def _stagger(self, endpoint: HostEndpoint) -> float:
+        """Per-host client stagger (the legacy unprefixed stream on a
+        legacy-named two-host fabric; ``<host>.client-stagger`` else)."""
+        return endpoint.rng.stream("client-stagger").uniform(0, 20_000.0)
+
+    # ------------------------------------------------------------------
+    # Crash / restart (repro.faults apps site)
+    # ------------------------------------------------------------------
+    def crash_involved_flow(self, host: str, index: int = 0
+                            ) -> Optional[str]:
+        records = self.involved[host]
+        if not records:
+            return None
+        record = records.pop(index % len(records))
+        record.source.stop()
+        record.server.stop()
+        endpoint = self.fabric.endpoints[host]
+        endpoint.host.cpu.release(record.server.core)
+        endpoint.io_arch.unregister_flow(record.flow)
+        self.fabric.senders.pop(record.flow.flow_id, None)
+        self._crashed[host][record.flow.name] = record
+        return record.flow.name
+
+    def restart_involved_flow(self, host: str, name: str) -> _FlowRecord:
+        record = self._crashed[host].pop(name)
+        return self._add_tenant_flow(record.tenant, name, record.src,
+                                     late_ok=True)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_measure(self, warmup: Optional[float] = None,
+                    duration: Optional[float] = None
+                    ) -> Dict[str, Measurement]:
+        """Warm up, then measure one steady-state window per server host.
+
+        Every window ends with a full fabric-wide reconciliation; the
+        report is attached to every host's measurement and queued for
+        the runner's audit collector.
+        """
+        if not self._built:
+            self.build()
+        measure = self.normal["measure"]
+        sim = self.fabric.sim
+        self._run(sim.now + (measure["warmup_us"] * US
+                             if warmup is None else warmup))
+        windows = {name: MeasurementWindow(endpoint, endpoint.io_arch)
+                   for name, endpoint in self.fabric.endpoints.items()}
+        self._run(sim.now + (measure["duration_us"] * US
+                             if duration is None else duration))
+        results: Dict[str, Measurement] = {}
+        report = None
+        for name, window in windows.items():
+            measurement = window.finish()
+            measurement.extras.update(
+                _arch_extras(self.fabric.endpoints[name].io_arch))
+            results[name] = measurement
+        if self.reconciler is not None:
+            report = self.reconciler.check(now=sim.now)
+            for measurement in results.values():
+                measurement.audit = report.to_dict()
+            record_report(report)
+        return results
+
+    def _run(self, until: float) -> None:
+        """Advance the simulation with periodic conservation barriers
+        under ``REPRO_SIM_DEBUG=1`` (checks only, never new events)."""
+        sim = self.fabric.sim
+        if self.reconciler is None or not sim.debug:
+            sim.run(until=until)
+            return
+        while True:
+            step_until = min(until, sim.now + self.AUDIT_BARRIER_NS)
+            sim.run(until=step_until)
+            report = self.reconciler.check(now=sim.now, barrier_only=True)
+            if not report.ok:
+                record_report(report)
+            if step_until >= until:
+                return
+
+    def run(self) -> Dict[str, Dict[str, Any]]:
+        """Build, measure, and return JSON-safe per-host metrics (the
+        ``python -m repro.scenario run`` payload)."""
+        return {name: asdict(measurement)
+                for name, measurement in self.run_measure().items()}
+
+
+def _arch_extras(arch) -> Dict[str, float]:
+    extras: Dict[str, float] = {}
+    for attr in ("fast_packets", "slow_packets", "overdraft",
+                 "ring_full_drops", "guard_marks", "congestion_events"):
+        counter = getattr(arch, attr, None)
+        if counter is not None:
+            extras[attr] = counter.value
+    if hasattr(arch, "fast_fraction"):
+        extras["fast_fraction"] = arch.fast_fraction()
+    return extras
+
+
+def compile_scenario(spec: Mapping[str, Any]) -> TopoScenario:
+    """Validate + compile ``spec`` (built, ready to ``run_measure()``)."""
+    return TopoScenario(spec).build()

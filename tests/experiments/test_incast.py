@@ -1,0 +1,59 @@
+"""Incast sweep: point identity carries the scenario tag, workers are
+deterministic in and across processes (``--jobs`` byte-identity)."""
+
+import json
+
+import pytest
+
+from repro.experiments import incast
+from repro.runner import PoolConfig, WorkerPool
+from repro.runner.sweep import run_points_serial
+from repro.scenario import canonical, incast_template
+
+
+def test_points_carry_canonical_scenario_identity():
+    pts = incast.points(quick=True)
+    assert [p.label for p in pts] == [
+        "baseline.8", "baseline.32", "ceio.8", "ceio.32"]
+    for point in pts:
+        assert point.seed == incast.DEFAULT_SEED
+        spec = incast_template(point.params["fan_in"])
+        spec["seed"] = point.seed
+        spec["hosts"]["*"]["arch"] = point.params["arch"]
+        spec["measure"] = {"warmup_us": 200.0, "duration_us": 300.0}
+        assert point.scenario == canonical(spec)
+        assert f"|scenario={point.scenario}" in point.content_key
+
+
+def test_full_axes_cover_all_archs():
+    pts = incast.points(quick=False)
+    assert len(pts) == len(incast.ARCHS) * len(incast.FAN_INS_FULL)
+    assert len({p.content_key for p in pts}) == len(pts)
+
+
+def _tiny_points():
+    pts = incast.points(quick=True)
+    # The two fan-in-8 points only (fast enough for a unit test).
+    return [p for p in pts if p.params["fan_in"] == 8]
+
+
+@pytest.mark.slow
+def test_pool_results_match_serial_byte_for_byte():
+    pts = _tiny_points()
+    serial = run_points_serial(pts)
+    pool = WorkerPool(PoolConfig(jobs=2))
+    outcomes = pool.run(pts)
+    assert all(o.ok for o in outcomes)
+    pooled = {o.point.point_id: o.value for o in outcomes}
+    assert json.dumps(pooled, sort_keys=True) \
+        == json.dumps(serial, sort_keys=True)
+
+
+@pytest.mark.slow
+def test_run_point_is_deterministic_and_audit_clean():
+    params = {"arch": "ceio", "fan_in": 8, "quick": True}
+    first = incast.run_point(params, seed=7)
+    second = incast.run_point(params, seed=7)
+    assert first == second
+    assert first["audit_ok"] and first["audit_violations"] == 0
+    assert first["mpps"] > 0

@@ -65,7 +65,8 @@ def test_render_includes_rows_and_checks():
 def test_registry_lists_all_paper_artifacts():
     expected = {"fig04a", "fig04b", "fig09", "fig10a", "fig10b",
                 "fig11", "fig12", "table2", "table3", "table4",
-                "limits", "ablations", "lessons", "chaos", "soak"}
+                "limits", "ablations", "lessons", "chaos", "soak",
+                "incast"}
     assert expected == set(EXPERIMENTS)
 
 

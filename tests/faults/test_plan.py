@@ -95,3 +95,40 @@ def test_plan_json_roundtrip_and_canonical_stability():
     assert FaultPlan.from_dicts(plan.to_dicts()) == plan
     # Canonical form is compact and key-sorted: safe as a cache-key part.
     assert " " not in text
+
+
+# ----------------------------------------------------------------------
+# Multi-host qualifier (repro.topo fabrics)
+# ----------------------------------------------------------------------
+def test_host_qualifier_defaults_to_none_and_is_not_serialised():
+    spec = FaultSpec("net.link", "loss")
+    assert spec.host is None
+    assert "host" not in spec.to_dict()
+    # Pre-multi-host canonical form, byte for byte: cache keys derived
+    # from FaultPlan.canonical() must never move for single-host plans.
+    assert FaultPlan((spec,)).canonical() == (
+        '[{"duration":null,"flow":null,"kind":"loss","magnitude":1.0,'
+        '"params":{},"site":"net.link","start":0.0,"stream":""}]')
+
+
+def test_host_qualifier_round_trips():
+    spec = FaultSpec("hw.nic", "descriptor_drop", host="s1")
+    data = spec.to_dict()
+    assert data["host"] == "s1"
+    assert FaultSpec.from_dict(data) == spec
+    plan = FaultPlan((spec,))
+    assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+def test_split_by_host_partitions_and_defaults_to_primary():
+    plan = FaultPlan((
+        FaultSpec("net.link", "loss"),
+        FaultSpec("hw.nic", "descriptor_drop", host="s1"),
+        FaultSpec("net.link", "burst_loss", host="s0"),
+        FaultSpec("hw.cache", "ddio_reconfig"),
+    ))
+    parts = plan.split_by_host("s0")
+    assert set(parts) == {"s0", "s1"}
+    assert [s.kind for s in parts["s0"].specs] == [
+        "loss", "burst_loss", "ddio_reconfig"]
+    assert [s.kind for s in parts["s1"].specs] == ["descriptor_drop"]

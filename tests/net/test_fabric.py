@@ -72,3 +72,81 @@ def test_fabric_config_defaults():
     cfg = FabricConfig()
     assert cfg.rate == pytest.approx(25.0)
     assert cfg.ecn_threshold < cfg.switch_buffer
+
+
+def test_reverse_delay_defaults_to_one_way_delay():
+    cfg = FabricConfig()
+    assert cfg.ack_delay is None
+    assert cfg.reverse_delay == cfg.one_way_delay
+    asym = FabricConfig(ack_delay=0.1 * US)
+    assert asym.reverse_delay == pytest.approx(0.1 * US)
+
+
+def test_asymmetric_ack_delay_shortens_round_trip():
+    def round_trip(fabric_config):
+        bed = TB(host_config=HostConfig(cache=CacheConfig(size=256 * 1024)),
+                 fabric_config=fabric_config)
+        arch = build_arch("baseline", bed.host)
+        bed.install_io_arch(arch)
+        flow = Flow(FlowKind.CPU_INVOLVED, message_payload=500)
+        sender = bed.add_flow(flow)
+        done = sender.submit_message(flow.make_message())
+        bed.run(until=100 * US)
+        assert done.triggered
+        return done.value.complete_time - done.value.submit_time
+
+    symmetric = round_trip(FabricConfig())
+    asym = round_trip(FabricConfig(ack_delay=0.1 * US))
+    # Same forward path; the reverse path is 0.5 us shorter.
+    assert symmetric - asym == pytest.approx(0.5 * US)
+
+
+def test_add_flow_after_measurement_started_raises():
+    from repro.workloads.measure import MeasurementWindow
+
+    bed = TB()
+    arch = build_arch("baseline", bed.host)
+    bed.install_io_arch(arch)
+    bed.add_flow(Flow(FlowKind.CPU_INVOLVED, name="early",
+                      message_payload=100))
+    MeasurementWindow(bed, arch)
+    late = Flow(FlowKind.CPU_INVOLVED, name="late", message_payload=100)
+    with pytest.raises(RuntimeError, match="after measurement started"):
+        bed.add_flow(late)
+    # The error names the flow and the escape hatch.
+    with pytest.raises(RuntimeError, match="'late'.*late_ok"):
+        bed.add_flow(late)
+
+
+def test_add_flow_late_ok_announces_flow_to_window():
+    from repro.workloads.measure import MeasurementWindow
+
+    bed = TB()
+    arch = build_arch("baseline", bed.host)
+    bed.install_io_arch(arch)
+    bed.add_flow(Flow(FlowKind.CPU_INVOLVED, name="early",
+                      message_payload=100))
+    window = MeasurementWindow(bed, arch)
+    late = Flow(FlowKind.CPU_INVOLVED, name="late", message_payload=100)
+    bed.add_flow(late, late_ok=True)
+    bed.run(until=1 * US)
+    measurement = window.finish()
+    assert bed.active_window is None
+    assert {fm.name for fm in measurement.flows} == {"early", "late"}
+
+
+def test_window_clears_active_registration_on_finish():
+    from repro.workloads.measure import MeasurementWindow
+
+    bed = TB()
+    arch = build_arch("baseline", bed.host)
+    bed.install_io_arch(arch)
+    assert bed.active_window is None
+    window = MeasurementWindow(bed, arch)
+    assert bed.active_window is window
+    bed.run(until=1 * US)
+    window.finish()
+    assert bed.active_window is None
+    # After the window closes, plain add_flow works again.
+    bed.add_flow(Flow(FlowKind.CPU_INVOLVED, name="next",
+                      message_payload=100))

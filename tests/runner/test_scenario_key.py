@@ -1,0 +1,53 @@
+"""Satellite: a point's declarative scenario is part of its identity —
+like ``faults``, the ``scenario`` tag must split cache keys, while
+hand-built points keep their historical keys byte for byte."""
+
+import hashlib
+
+from repro.runner import ResultCache, cache_key, make_point
+from repro.runner.sweep import canonical_params
+from repro.scenario import canonical, template
+
+SCN = canonical(template("incast-32"))
+
+
+def _point(scenario=""):
+    return make_point("exp", "mod:fn", {"a": 1}, None, 3,
+                      label="p", scenario=scenario)
+
+
+def test_hand_built_content_key_keeps_historical_format():
+    point = _point()
+    assert point.content_key == f"mod:fn|{canonical_params({'a': 1})}|3"
+
+
+def test_scenario_point_gets_distinct_identity():
+    plain = _point()
+    declarative = _point(scenario=SCN)
+    assert declarative.content_key == (
+        plain.content_key + f"|scenario={SCN}")
+    assert cache_key(plain, "fp") != cache_key(declarative, "fp")
+
+
+def test_scenario_key_is_sha256_of_full_content_key():
+    point = _point(scenario=SCN)
+    assert cache_key(point, "fp") == hashlib.sha256(
+        f"{point.content_key}|fp".encode()).hexdigest()
+
+
+def test_cache_roundtrips_scenario_tag(tmp_path):
+    cache = ResultCache(root=str(tmp_path), fingerprint="fp")
+    point = _point(scenario=SCN)
+    cache.put(point, {"v": 1})
+    assert cache.get(point) == (True, {"v": 1})
+    # A hand-built point with identical fn/params/seed misses.
+    assert cache.get(_point()) == (False, None)
+    assert cache.get_entry(point)["scenario"] == SCN
+
+
+def test_different_scenarios_never_share_results(tmp_path):
+    cache = ResultCache(root=str(tmp_path), fingerprint="fp")
+    a = _point(scenario=canonical(template("incast-32")))
+    b = _point(scenario=canonical(template("paper-baseline")))
+    cache.put(a, {"v": "a"})
+    assert cache.get(b) == (False, None)

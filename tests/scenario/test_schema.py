@@ -1,0 +1,158 @@
+"""Schema round-trip and rejection suite: every invalid field yields a
+path-addressed ``ScenarioError``; validation is normalisation; canonical
+serialisation is a fixed point."""
+
+import json
+
+import pytest
+
+from repro.scenario import (ScenarioError, TEMPLATE_NAMES, canonical,
+                            template, validate)
+
+
+def _base(**overrides):
+    spec = {
+        "version": 1,
+        "topology": {"kind": "star", "params": {"n_clients": 2}},
+        "tenants": [{"name": "t", "workload": "kvstore"}],
+    }
+    spec.update(overrides)
+    return spec
+
+
+# ----------------------------------------------------------------------
+# Round-trip / normalisation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", TEMPLATE_NAMES)
+def test_canonical_is_a_fixed_point_for_every_template(name):
+    c = canonical(template(name))
+    assert canonical(json.loads(c)) == c
+
+
+def test_validate_fills_all_defaults():
+    normal = validate(_base())
+    assert normal["seed"] == 0 and normal["name"] == ""
+    assert normal["topology"]["params"] == {"n_clients": 2, "n_servers": 1}
+    assert normal["topology"]["links"]["rate_gbps"] == 200.0
+    assert normal["topology"]["links"]["ack_delay_us"] is None
+    assert normal["hosts"]["*"]["arch"] == "ceio"
+    assert normal["hosts"]["*"]["cores"] is None
+    tenant = normal["tenants"][0]
+    assert tenant["host"] == "s0"  # first server
+    assert tenant["flows"] == 1 and tenant["outstanding"] == 96
+    assert normal["fault_plan"] == []
+    assert normal["measure"] == {"warmup_us": 400.0, "duration_us": 600.0}
+
+
+def test_validate_is_idempotent():
+    once = validate(_base())
+    assert validate(once) == once
+
+
+def test_explicit_values_survive_round_trip():
+    spec = _base(seed=11, name="x",
+                 hosts={"s0": {"arch": "shring", "scale": 2}},
+                 fault_plan=[{"site": "net.link", "kind": "loss",
+                              "start": 1.0, "duration": 2.0,
+                              "host": "s0"}])
+    spec["topology"]["links"] = {"ack_delay_us": 0.2}
+    normal = validate(spec)
+    assert normal["seed"] == 11
+    assert normal["topology"]["links"]["ack_delay_us"] == 0.2
+    assert normal["hosts"]["s0"]["arch"] == "shring"
+    assert normal["hosts"]["s0"]["scale"] == 2
+    assert normal["fault_plan"][0]["host"] == "s0"
+
+
+# ----------------------------------------------------------------------
+# Rejection suite: (mutation, expected error path)
+# ----------------------------------------------------------------------
+def _no_topology():
+    spec = _base()
+    del spec["topology"]
+    return spec
+
+
+def _no_tenants():
+    spec = _base()
+    del spec["tenants"]
+    return spec
+
+
+REJECTIONS = [
+    (lambda: "not a dict", ""),
+    (lambda: _base(bogus=1), "bogus"),
+    (lambda: _base(version=2), "version"),
+    (lambda: _base(version=None), "version"),
+    (lambda: _base(seed=True), "seed"),
+    (lambda: _base(seed="0"), "seed"),
+    (lambda: _base(name=7), "name"),
+    (lambda: _no_topology(), "topology"),
+    (lambda: _base(topology=[]), "topology"),
+    (lambda: _base(topology={}), "topology.kind"),
+    (lambda: _base(topology={"kind": "ring"}), "topology.kind"),
+    (lambda: _base(topology={"kind": "star"}), "topology.params.n_clients"),
+    (lambda: _base(topology={"kind": "star",
+                             "params": {"n_clients": 0}}),
+     "topology.params.n_clients"),
+    (lambda: _base(topology={"kind": "two_host",
+                             "params": {"n_clients": 2}}),
+     "topology.params.n_clients"),
+    (lambda: _base(topology={"kind": "star",
+                             "params": {"n_clients": 2},
+                             "links": {"rate_gbps": -1}}),
+     "topology.links.rate_gbps"),
+    (lambda: _base(topology={"kind": "star",
+                             "params": {"n_clients": 2},
+                             "links": {"mtu": 9000}}),
+     "topology.links.mtu"),
+    (lambda: _base(hosts={"nope": {}}), "hosts.nope"),
+    (lambda: _base(hosts={"c0": {}}), "hosts.c0"),  # client, not server
+    (lambda: _base(hosts={"*": {"arch": "tcp"}}), "hosts.*.arch"),
+    (lambda: _base(hosts={"*": {"cores": 0}}), "hosts.*.cores"),
+    (lambda: _base(hosts={"*": {"scale": -2}}), "hosts.*.scale"),
+    (lambda: _base(hosts={"*": {"set_associative_cache": 1}}),
+     "hosts.*.set_associative_cache"),
+    (lambda: _base(hosts={"*": {"ways": 8}}), "hosts.*.ways"),
+    (lambda: _no_tenants(), "tenants"),
+    (lambda: _base(tenants=[]), "tenants"),
+    (lambda: _base(tenants=[{"workload": "kvstore"}]), "tenants[0].name"),
+    (lambda: _base(tenants=[{"name": "t"}]), "tenants[0].workload"),
+    (lambda: _base(tenants=[{"name": "t", "workload": "memcached"}]),
+     "tenants[0].workload"),
+    (lambda: _base(tenants=[{"name": "t", "workload": "kvstore"},
+                            {"name": "t", "workload": "erpc"}]),
+     "tenants[1].name"),
+    (lambda: _base(tenants=[{"name": "t", "workload": "kvstore",
+                             "host": "c0"}]), "tenants[0].host"),
+    (lambda: _base(tenants=[{"name": "t", "workload": "kvstore",
+                             "flows": 0}]), "tenants[0].flows"),
+    (lambda: _base(tenants=[{"name": "t", "workload": "kvstore",
+                             "transport": "tcp"}]),
+     "tenants[0].transport"),
+    (lambda: _base(tenants=[{"name": "t", "workload": "kvstore",
+                             "sources": ["ghost"]}]),
+     "tenants[0].sources[0]"),
+    (lambda: _base(tenants=[{"name": "t", "workload": "kvstore",
+                             "priority": 3}]), "tenants[0].priority"),
+    (lambda: _base(fault_plan={}), "fault_plan"),
+    (lambda: _base(fault_plan=[{"kind": "loss"}]), "fault_plan[0]"),
+    (lambda: _base(fault_plan=[{"site": "net.link", "kind": "loss",
+                                "host": "c0"}]), "fault_plan[0].host"),
+    (lambda: _base(measure={"duration_us": 0}), "measure.duration_us"),
+    (lambda: _base(measure={"cooldown_us": 5.0}), "measure.cooldown_us"),
+]
+
+
+@pytest.mark.parametrize("build,path",
+                         REJECTIONS,
+                         ids=[path or "not-a-mapping"
+                              for _, path in REJECTIONS])
+def test_invalid_field_is_rejected_with_path(build, path):
+    with pytest.raises(ScenarioError) as err:
+        validate(build())
+    assert err.value.path == path
+    # The rendered message leads with the path, so CLI users can find
+    # the offending field without a stack trace.
+    if path:
+        assert str(err.value).startswith(path)

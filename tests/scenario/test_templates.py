@@ -1,0 +1,47 @@
+"""Shipped templates: all validate, are fresh copies, and are described."""
+
+import pytest
+
+from repro.scenario import (TEMPLATE_NAMES, describe, incast_template,
+                            template, validate)
+
+
+def test_catalog_names_and_order():
+    assert TEMPLATE_NAMES == ("paper-baseline", "incast-32",
+                              "multi-tenant-ddio", "all-to-all-storage")
+
+
+@pytest.mark.parametrize("name", TEMPLATE_NAMES)
+def test_every_template_validates(name):
+    normal = validate(template(name))
+    assert normal["name"] == name
+
+
+@pytest.mark.parametrize("name", TEMPLATE_NAMES)
+def test_describe_is_nonempty(name):
+    assert describe(name)
+
+
+def test_template_returns_fresh_copies():
+    a = template("paper-baseline")
+    a["seed"] = 999
+    a["hosts"]["*"]["arch"] = "baseline"
+    b = template("paper-baseline")
+    assert b["seed"] == 0 and b["hosts"]["*"]["arch"] == "ceio"
+
+
+def test_unknown_template_rejected():
+    with pytest.raises(KeyError, match="unknown scenario template"):
+        template("nope")
+    with pytest.raises(KeyError, match="unknown scenario template"):
+        describe("nope")
+
+
+def test_incast_family_is_parameterised_fan_in():
+    assert incast_template(32) == template("incast-32")
+    eight = validate(incast_template(8))
+    assert eight["topology"]["params"]["n_clients"] == 8
+    assert eight["tenants"][0]["flows"] == 8
+    # Wide fan-ins widen the receiver's core pool (one eRPC core/flow).
+    assert validate(incast_template(32))["hosts"]["*"]["cores"] == 34
+    assert validate(incast_template(8))["hosts"]["*"]["cores"] == 16

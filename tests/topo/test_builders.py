@@ -1,0 +1,78 @@
+"""Builder shapes and determinism: the same call always yields the same
+graph, byte for byte (names, link order, attribute values)."""
+
+import pytest
+
+from repro.topo import fat_tree, leaf_spine, star, two_host
+
+
+def _fingerprint(topo):
+    return (
+        tuple(sorted(topo.hosts)),
+        tuple(spec.name for spec in topo.server_hosts),
+        topo.switches,
+        tuple((link.name, link.a, link.b, link.rate, link.delay,
+               link.ack_delay, link.buffer, link.ecn_threshold)
+              for link in topo.links),
+        topo.legacy_names,
+    )
+
+
+def test_two_host_shape_matches_legacy_testbed():
+    topo = two_host()
+    assert sorted(topo.hosts) == ["client", "host"]
+    assert [h.name for h in topo.server_hosts] == ["host"]
+    assert topo.switches == ("tor",)
+    assert topo.legacy_names is True
+    uplink = topo.link_between("client", "tor")
+    down = topo.link_between("tor", "host")
+    # The server-facing egress keeps the legacy port name "tor"; the
+    # client uplink is a zero-delay injection point.
+    assert down.name == "tor" and uplink.name == "uplink"
+    assert uplink.delay == 0.0 and uplink.reverse_delay == 0.0
+    assert down.delay == pytest.approx(600.0)  # 0.6 us in ns
+
+
+def test_star_shape():
+    topo = star(n_clients=4, n_servers=2)
+    assert [h.name for h in topo.client_hosts] == ["c0", "c1", "c2", "c3"]
+    assert [h.name for h in topo.server_hosts] == ["s0", "s1"]
+    assert topo.switches == ("tor",)
+    assert len(topo.links) == 6
+
+
+def test_leaf_spine_shape():
+    topo = leaf_spine(leaves=2, spines=2, hosts_per_leaf=4,
+                      servers_per_leaf=1)
+    assert len(topo.hosts) == 8
+    assert [h.name for h in topo.server_hosts] == ["l0s0", "l1s0"]
+    assert set(topo.switches) == {"leaf0", "leaf1", "spine0", "spine1"}
+    # 8 host links + full 2x2 leaf-spine mesh.
+    assert len(topo.links) == 8 + 4
+
+
+def test_fat_tree_shape():
+    k = 4
+    topo = fat_tree(k, hosts_per_edge=1, servers_per_pod=1)
+    half = k // 2
+    assert len([s for s in topo.switches if s.startswith("core")]) \
+        == half * half
+    assert len(topo.hosts) == k * half  # hosts_per_edge per edge switch
+    assert len(topo.server_hosts) == k  # one per pod
+    # Host links + edge-agg links + agg-core links.
+    assert len(topo.links) == k * half + k * half * half + k * half * half
+
+
+def test_fat_tree_odd_k_rejected():
+    with pytest.raises(ValueError, match="even k"):
+        fat_tree(3)
+
+
+@pytest.mark.parametrize("build", [
+    lambda: two_host(),
+    lambda: star(n_clients=8, n_servers=2),
+    lambda: leaf_spine(leaves=2, spines=2, hosts_per_leaf=4),
+    lambda: fat_tree(4, hosts_per_edge=2, servers_per_pod=2),
+])
+def test_builders_are_deterministic(build):
+    assert _fingerprint(build()) == _fingerprint(build())

@@ -1,0 +1,115 @@
+"""Topology graph validation: structure rules, routing, reverse delays."""
+
+import pytest
+
+from repro.sim.units import US
+from repro.topo import HostSpec, LinkSpec, Topology, leaf_spine, star
+
+
+def _tiny(links):
+    return Topology(
+        hosts=[HostSpec("c"), HostSpec("s", server=True)],
+        switches=["sw"], links=links)
+
+
+def test_minimal_two_node_graph():
+    topo = _tiny([LinkSpec("c", "sw"), LinkSpec("sw", "s")])
+    assert [h.name for h in topo.server_hosts] == ["s"]
+    assert [h.name for h in topo.client_hosts] == ["c"]
+    switch, link = topo.attachment("s")
+    assert switch == "sw" and link.other("sw") == "s"
+
+
+def test_link_auto_name_and_explicit_name():
+    topo = _tiny([LinkSpec("c", "sw"), LinkSpec("sw", "s", name="down")])
+    names = sorted(link.name for link in topo.links)
+    assert names == ["c-sw", "down"]
+
+
+def test_host_name_with_dot_rejected():
+    with pytest.raises(ValueError, match="must not contain"):
+        HostSpec("bad.name")
+
+
+def test_duplicate_names_rejected():
+    with pytest.raises(ValueError, match="duplicate"):
+        Topology(hosts=[HostSpec("x"), HostSpec("x", server=True)],
+                 switches=["sw"],
+                 links=[LinkSpec("x", "sw")])
+
+
+def test_host_to_host_link_rejected():
+    with pytest.raises(ValueError, match="host-host"):
+        Topology(hosts=[HostSpec("a"), HostSpec("b", server=True)],
+                 switches=["sw"],
+                 links=[LinkSpec("a", "b"), LinkSpec("a", "sw"),
+                        LinkSpec("b", "sw")])
+
+
+def test_host_degree_must_be_exactly_one():
+    with pytest.raises(ValueError, match="exactly one switch"):
+        _tiny([LinkSpec("c", "sw")])  # server s unattached
+    with pytest.raises(ValueError, match="exactly one switch"):
+        Topology(hosts=[HostSpec("c"), HostSpec("s", server=True)],
+                 switches=["sw", "sw2"],
+                 links=[LinkSpec("c", "sw"), LinkSpec("c", "sw2"),
+                        LinkSpec("sw", "s"), LinkSpec("sw", "sw2")])
+
+
+def test_parallel_links_rejected():
+    with pytest.raises(ValueError, match="parallel"):
+        Topology(hosts=[HostSpec("c"), HostSpec("s", server=True)],
+                 switches=["sw", "sw2"],
+                 links=[LinkSpec("c", "sw"), LinkSpec("sw", "s"),
+                        LinkSpec("sw", "sw2"), LinkSpec("sw", "sw2")])
+
+
+def test_self_loop_rejected():
+    with pytest.raises(ValueError, match="self-loop"):
+        _tiny([LinkSpec("c", "sw"), LinkSpec("sw", "s"),
+               LinkSpec("sw", "sw")])
+
+
+def test_disconnected_switch_rejected():
+    with pytest.raises(ValueError, match="disconnected"):
+        Topology(hosts=[HostSpec("c"), HostSpec("s", server=True)],
+                 switches=["sw", "island"],
+                 links=[LinkSpec("c", "sw"), LinkSpec("sw", "s")])
+
+
+def test_reverse_delay_defaults_to_forward_delay():
+    link = LinkSpec("a", "b", delay=0.6 * US)
+    assert link.reverse_delay == link.delay
+    asym = LinkSpec("a", "b", delay=0.6 * US, ack_delay=0.1 * US)
+    assert asym.reverse_delay == pytest.approx(0.1 * US)
+
+
+def test_next_hops_on_star_are_direct():
+    topo = star(n_clients=3, n_servers=1)
+    hops = topo.next_hops_toward("s0")
+    # Every path ends at the attachment switch; the ToR itself delivers.
+    assert hops["tor"] == ()
+
+
+def test_leaf_spine_equal_cost_candidates_sorted():
+    topo = leaf_spine(leaves=2, spines=2, hosts_per_leaf=2,
+                      servers_per_leaf=1)
+    hops = topo.next_hops_toward("l1s0")
+    # From the remote leaf, both spines are equal-cost, in sorted order.
+    assert hops["leaf0"] == ("spine0", "spine1")
+    # From a spine there is exactly one way down.
+    assert hops["spine0"] == ("leaf1",)
+    assert hops["leaf1"] == ()
+
+
+def test_path_links_crosses_fabric():
+    topo = leaf_spine(leaves=2, spines=2, hosts_per_leaf=2,
+                      servers_per_leaf=1)
+    path = topo.path_links("l0c1", "l1s0",
+                           choose=lambda candidates: candidates[0])
+    assert [link.name for link in path] == [
+        "l0c1-leaf0", "leaf0-spine0", "leaf1-spine0", "leaf1-l1s0"]
+    # Reverse (ACK) delay is the sum of per-link reverse delays: the
+    # zero-delay uplink contributes nothing, the other hops 0.6 us each.
+    assert sum(link.reverse_delay for link in path) == pytest.approx(
+        3 * 0.6 * US)

@@ -78,7 +78,7 @@ def test_window_note_new_flow_midway():
     window = MeasurementWindow(bed, arch)
     bed.run(until=10 * US)
     late = Flow(FlowKind.CPU_INVOLVED, message_payload=500)
-    bed.add_flow(late)
+    bed.add_flow(late, late_ok=True)
     window.note_new_flow(late)
     arch.flows[late.flow_id].processed.add(7)
     bed.run(until=20 * US)
