@@ -23,11 +23,12 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from .ledger import Account, Ledger
+from .merge import merge_audit
 from .reconcile import AuditReport, Reconciler
 from .wiring import build_fabric_ledger, build_ledger
 
 __all__ = ["Account", "AuditReport", "Ledger", "Reconciler", "build_ledger",
-           "build_fabric_ledger",
+           "build_fabric_ledger", "merge_audit",
            "record_report", "drain_reports", "pending_report_count"]
 
 #: Reports recorded since the last drain. Process-local by construction:

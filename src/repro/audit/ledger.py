@@ -55,13 +55,21 @@ def read_source(source: Source) -> float:
 
 
 class Account:
-    """One named balance equation with unit-tagged debit/credit sources."""
+    """One named balance equation with unit-tagged debit/credit sources.
+
+    ``cross_shard`` marks an account that holds only *part* of its
+    equation's sources because the rest live in a peer shard (sharded
+    execution splits boundary-link wire accounts at the cut). Such
+    accounts are skipped by local reconciliation — their partial
+    snapshots are exported instead and merged by name across shards
+    (:func:`repro.audit.merge.merge_audit`)."""
 
     __slots__ = ("name", "unit", "tolerance", "barrier_safe", "bounded",
-                 "_debits", "_credits", "_slack")
+                 "cross_shard", "_debits", "_credits", "_slack")
 
     def __init__(self, name: str, unit: str, tolerance: float = 0.0,
-                 barrier_safe: bool = False, bounded: bool = False):
+                 barrier_safe: bool = False, bounded: bool = False,
+                 cross_shard: bool = False):
         if unit not in UNITS:
             raise ValueError(f"unknown unit {unit!r}; choose from {UNITS}")
         self.name = name
@@ -69,6 +77,7 @@ class Account:
         self.tolerance = tolerance
         self.barrier_safe = barrier_safe
         self.bounded = bounded
+        self.cross_shard = cross_shard
         self._debits: List[Tuple[str, Source]] = []
         self._credits: List[Tuple[str, Source]] = []
         self._slack: List[Tuple[str, Source]] = []
@@ -114,13 +123,15 @@ class Ledger:
         self.accounts: Dict[str, Account] = {}
 
     def account(self, name: str, unit: str, tolerance: float = 0.0,
-                barrier_safe: bool = False, bounded: bool = False) -> Account:
+                barrier_safe: bool = False, bounded: bool = False,
+                cross_shard: bool = False) -> Account:
         """Create (or fetch) the account ``name``; parameters apply on
         first creation only."""
         acct = self.accounts.get(name)
         if acct is None:
             acct = Account(name, unit, tolerance=tolerance,
-                           barrier_safe=barrier_safe, bounded=bounded)
+                           barrier_safe=barrier_safe, bounded=bounded,
+                           cross_shard=cross_shard)
             self.accounts[name] = acct
         return acct
 

@@ -1,0 +1,71 @@
+"""Merge per-shard audit results into one global reconciliation.
+
+A sharded run (:mod:`repro.shard`) evaluates each shard's local ledger
+independently; accounts split across a cut link are exported as partial
+snapshots (:meth:`repro.audit.reconcile.Reconciler.partial_snapshots`)
+instead of being checked locally. :func:`merge_audit` unions the partial
+snapshots by account name — summing per-label source values across
+shards, which re-joins the egress half (``transmitted`` / ``in_flight``)
+with the ingress half (``forwarded``) — re-evaluates each merged balance
+equation, and concatenates everything into one :class:`AuditReport`
+whose ``checked`` count equals the single-kernel ledger's (every local
+account once, every cut account merged to one).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .reconcile import AuditReport
+
+__all__ = ["merge_audit"]
+
+
+def merge_audit(now: float, shard_entries: List[List[Dict[str, Any]]],
+                shard_partials: List[List[Dict[str, Any]]]) -> AuditReport:
+    """One global report from per-shard results.
+
+    ``shard_entries`` holds each shard's locally-checked snapshots
+    (``AuditReport.entries``); ``shard_partials`` each shard's
+    cross-shard partial snapshots. Both are JSON-safe, so process-mode
+    shards can ship them over the worker pipe verbatim.
+    """
+    entries: List[Dict[str, Any]] = []
+    for local in shard_entries:
+        entries.extend(local)
+
+    merged: Dict[str, Dict[str, Any]] = {}
+    params: Dict[str, Dict[str, Any]] = {}
+    order: List[str] = []
+    for partials in shard_partials:
+        for part in partials:
+            name = part["account"]
+            acc = merged.get(name)
+            if acc is None:
+                acc = merged[name] = {"account": name,
+                                      "unit": part["unit"],
+                                      "debits": {}, "credits": {},
+                                      "slack": 0.0}
+                params[name] = {"bounded": part.get("bounded", False),
+                                "tolerance": part.get("tolerance", 0.0)}
+                order.append(name)
+            for side in ("debits", "credits"):
+                bucket = acc[side]
+                for label, value in part[side].items():
+                    bucket[label] = bucket.get(label, 0.0) + value
+            acc["slack"] += part.get("slack", 0.0)
+
+    for name in sorted(order):
+        acc = merged[name]
+        delta = (sum(acc["debits"].values())
+                 - sum(acc["credits"].values()))
+        tolerance = params[name]["tolerance"]
+        if params[name]["bounded"]:
+            ok = -tolerance <= delta <= acc["slack"] + tolerance
+        else:
+            ok = abs(delta) <= tolerance
+        acc["delta"] = delta
+        acc["ok"] = ok
+        entries.append(acc)
+
+    return AuditReport(now, entries)

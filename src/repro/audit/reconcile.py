@@ -106,10 +106,29 @@ class Reconciler:
 
     def check(self, now: float = 0.0,
               barrier_only: bool = False) -> AuditReport:
-        """Evaluate every account (or only the ``barrier_safe`` subset)."""
+        """Evaluate every account (or only the ``barrier_safe`` subset).
+
+        ``cross_shard`` accounts are never evaluated locally — they hold
+        only part of their equation; export them with
+        :meth:`partial_snapshots` and merge across shards instead."""
         entries = [account.snapshot() for account in self.ledger
-                   if account.barrier_safe or not barrier_only]
+                   if (account.barrier_safe or not barrier_only)
+                   and not account.cross_shard]
         return AuditReport(now, entries, barrier_only=barrier_only)
+
+    def partial_snapshots(self) -> List[Dict[str, Any]]:
+        """Snapshots of the ``cross_shard`` accounts, augmented with the
+        balance parameters (``bounded`` / ``tolerance``) a merge needs to
+        re-evaluate the united equation."""
+        out = []
+        for account in self.ledger:
+            if not account.cross_shard:
+                continue
+            snap = account.snapshot()
+            snap["bounded"] = account.bounded
+            snap["tolerance"] = account.tolerance
+            out.append(snap)
+        return out
 
     def assert_balanced(self, now: float = 0.0,
                         barrier_only: bool = False) -> Optional[AuditReport]:

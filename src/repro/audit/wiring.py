@@ -218,4 +218,27 @@ def build_fabric_ledger(fabric) -> Ledger:
         wire.debit("transmitted", port.tx_packets)
         wire.credit("in_flight", (port, "wire_inflight"))
         wire.credit("forwarded", forwarded)
+    # Boundary (cut) links of a scoped shard fabric. The port equation is
+    # fully local to the egress-owning shard; the wire equation splits —
+    # transmitted and in_flight live with the egress, the forwarded
+    # counter with the ingress shard — so both halves register partial
+    # ``cross_shard`` accounts under the single-kernel name and the
+    # coordinator merges them (repro.audit.merge).
+    if getattr(fabric, "scope", None) is not None:
+        for switch, index, port, _peer in fabric.cut_egresses():
+            base = f"switch.{switch}.port.{index}"
+            acct = ledger.account(base, "packets", barrier_safe=True)
+            acct.debit("offered", port.rx_offered)
+            acct.credit("fault_dropped", port.fault_dropped)
+            acct.credit("tail_dropped", port.dropped_packets)
+            acct.credit("transmitted", port.tx_packets)
+            acct.credit("queued", (port, "queued_packets"))
+            wire = ledger.account(f"{base}.wire", "packets",
+                                  cross_shard=True)
+            wire.debit("transmitted", port.tx_packets)
+            wire.credit("in_flight", (port, "wire_inflight"))
+        for peer, index, _local_sw, forwarded in fabric.cut_ingresses():
+            wire = ledger.account(f"switch.{peer}.port.{index}.wire",
+                                  "packets", cross_shard=True)
+            wire.credit("forwarded", forwarded)
     return ledger

@@ -35,6 +35,7 @@ SIM_PACKAGES: Tuple[str, ...] = (
     "repro.workloads",
     "repro.topo",
     "repro.scenario",
+    "repro.shard",
 )
 
 

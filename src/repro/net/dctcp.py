@@ -152,6 +152,10 @@ class DctcpSender:
         if entry is None:
             return
         packet, _sent = entry
+        # Clone instead of mutating: the original copy may still be in a
+        # network queue (spurious retransmit), and post-egress packets
+        # are immutable from the sender's side (see Packet.clone).
+        packet = packet.clone()
         packet.retransmitted = True
         self.retransmits.add(1)
         self._dup_counts.pop(seq, None)
@@ -272,13 +276,18 @@ class DctcpSender:
                 # ACKs return (one-at-a-time RTO recovery would crawl).
                 requeue = [pkt for seq2, (pkt, _t) in self.inflight.items()
                            if seq2 != oldest_seq]
+                clones = []
                 for pkt in requeue:
                     del self.inflight[pkt.seq]
                     self.inflight_bytes = max(
                         0, self.inflight_bytes - pkt.size)
                     self._dup_counts.pop(pkt.seq, None)
-                    pkt.retransmitted = True
-                for pkt in sorted(requeue, key=lambda p: p.seq,
+                    # Requeue a clone: the presumed-lost copy may in fact
+                    # still arrive, and must keep its original fields.
+                    twin = pkt.clone()
+                    twin.retransmitted = True
+                    clones.append(twin)
+                for pkt in sorted(clones, key=lambda p: p.seq,
                                   reverse=True):
                     self._pending.appendleft(pkt)
                 self._retransmit(oldest_seq)

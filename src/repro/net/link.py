@@ -104,6 +104,11 @@ class SwitchPort:
         # Bind once so per-packet scheduling loads an instance attribute
         # instead of allocating a bound method.
         self._wire_arrive = self._wire_arrive  # type: ignore[misc]
+        #: How a transmitted packet gets onto the wire. The default
+        #: schedules local arrival; repro.shard replaces it on boundary
+        #: (cut-link) egresses with a channel emitter that consumes the
+        #: same one sequence number and ships the packet cross-shard.
+        self._wire_send = self._wire_schedule
         # Fault seam + drop tracing, as on Link.
         self.fault = None
         self.fault_dropped = Counter(f"{name}.fault_dropped")
@@ -143,8 +148,17 @@ class SwitchPort:
             self.queue_gauge.update(self.sim.now, self._queued_bytes)
             self.tx_packets.add(1)
             self.wire_inflight += 1
-            self.sim.call_later(self.propagation, self._wire_arrive, packet)
+            self._wire_send(packet)
+
+    def _wire_schedule(self, packet) -> None:
+        self.sim.call_later(self.propagation, self._wire_arrive, packet)
 
     def _wire_arrive(self, packet) -> None:
         self.wire_inflight -= 1
         self.deliver(packet)
+
+    def _wire_depart(self, packet) -> None:
+        """Local half of a boundary-link arrival: the in-flight count
+        drops here while the delivery executes in the peer shard under
+        the same calendar key (the two halves touch disjoint state)."""
+        self.wire_inflight -= 1

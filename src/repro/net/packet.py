@@ -51,6 +51,26 @@ class Packet:
         self.delivered_time: float = 0.0   # visible to host software
         self.retransmitted = False
 
+    def clone(self) -> "Packet":
+        """A field-wise copy sharing the :class:`Flow` reference.
+
+        Retransmission clones the packet instead of mutating the copy
+        that may still be traversing the network: once a packet leaves
+        the sender it is immutable from the sender's side, which is what
+        lets sharded runs snapshot boundary-crossing packets by value
+        and still match the single-kernel run byte for byte.
+        """
+        twin = Packet(self.flow, self.seq, self.payload,
+                      message_id=self.message_id,
+                      last_in_message=self.last_in_message)
+        twin.ecn_marked = self.ecn_marked
+        twin.send_time = self.send_time
+        twin.first_send_time = self.first_send_time
+        twin.arrival_time = self.arrival_time
+        twin.delivered_time = self.delivered_time
+        twin.retransmitted = self.retransmitted
+        return twin
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Packet f{self.flow.flow_id} seq={self.seq} "
                 f"{self.payload}B msg={self.message_id}>")

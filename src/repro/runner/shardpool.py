@@ -1,0 +1,243 @@
+"""Process-backed shard execution with runlog heartbeats.
+
+One long-lived worker process per shard kernel, driven over pipes by the
+coordinator (:func:`repro.shard.run_sharded` with ``mode="process"``).
+The point pool (:mod:`repro.runner.pool`) polices sweep points between
+process boundaries; this module applies the same supervision *inside*
+one sharded run, where the failure unit is a shard, not a point:
+
+- **heartbeats** — at most every ``heartbeat_s`` of wall time, one
+  ``shard_heartbeat`` runlog event per shard records its simulated time
+  and cumulative event count, so a shard that stops progressing is
+  visible (its ``events_executed`` flatlines while the others grow);
+- **stall attribution** — a shard that leaves the coordinator waiting
+  longer than ``stall_s`` gets a ``shard_stall`` event naming it (and a
+  ``shard_resume`` when it recovers), instead of the whole run
+  surfacing as an opaque point timeout;
+- **crash detection** — a worker that dies mid-window, or overruns
+  ``timeout_s``, fails the run with a ``shard_failed`` event and an
+  exception naming the shard.
+
+Events append to the same JSONL format the sweep runner's
+:class:`~repro.runner.progress.Progress` writes (``{"ts": ..., "event":
+...}`` per line), so a shard pool can share ``runlog.jsonl`` with the
+surrounding sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["ShardPoolConfig", "ProcessShards"]
+
+_POLL_S = 0.05
+
+
+@dataclass
+class ShardPoolConfig:
+    #: Minimum wall-clock seconds between heartbeat event batches.
+    heartbeat_s: float = 5.0
+    #: Seconds of worker unresponsiveness before a stall is logged.
+    stall_s: float = 30.0
+    #: Hard per-reply budget in seconds (``None`` = wait, logging stalls).
+    timeout_s: Optional[float] = None
+    #: multiprocessing start method (``None`` = platform default).
+    start_method: Optional[str] = None
+    #: Path of the JSONL runlog to append shard events to (``None`` =
+    #: no logging).
+    runlog: Optional[str] = None
+
+
+def _shard_worker(conn, normal, shards: int, index: int) -> None:
+    """Worker main: build shard ``index`` of a ``shards``-way partition,
+    then serve coordinator commands until told to exit.
+
+    Commands: ``("advance", horizon, inclusive, inbox)`` injects the
+    inbox and runs one window, replying ``("advanced", executed,
+    outbox)``; ``("open",)`` opens measurement windows; ``("finish",)``
+    replies with the kernel's final export; ``("exit",)`` returns. Any
+    exception is reported as ``("error", detail)`` rather than killing
+    the pipe silently.
+    """
+    from ..scenario.schema import build_topology
+    from ..shard.kernel import ShardKernel
+    from ..topo.partition import partition
+    try:
+        plan = partition(build_topology(normal), shards)
+        kernel = ShardKernel(normal, plan, index)
+        conn.send(("ready", sorted(kernel.fabric.endpoints)))
+        while True:
+            msg = conn.recv()
+            cmd = msg[0]
+            if cmd == "advance":
+                _cmd, horizon, inclusive, inbox = msg
+                for item in inbox:
+                    kernel.inject(item)
+                executed, out = kernel.advance(horizon, inclusive)
+                conn.send(("advanced", executed, out))
+            elif cmd == "open":
+                kernel.open_windows()
+                conn.send(("opened",))
+            elif cmd == "finish":
+                conn.send(("finished",) + kernel.finish())
+            elif cmd == "exit":
+                return
+    except EOFError:
+        return
+    except BaseException as exc:
+        detail = "".join(
+            traceback.format_exception_only(type(exc), exc)).strip()
+        try:
+            conn.send(("error", detail))
+        except (BrokenPipeError, OSError):
+            pass
+
+
+class ProcessShards:
+    """The shard-executor protocol of :mod:`repro.shard.coordinator`,
+    backed by one worker process per shard."""
+
+    def __init__(self, normal: Dict[str, Any], plan, config=None):
+        self.config = config or ShardPoolConfig()
+        self.plan = plan
+        self.n = plan.n_shards
+        self._runlog_path = (Path(self.config.runlog)
+                             if self.config.runlog else None)
+        self._closed = False
+        self._last_events = [0] * self.n
+        self._last_beat = time.monotonic()
+        self._log({"event": "shard_pool_start", "shards": self.n,
+                   "plan": plan.describe()})
+        ctx = (multiprocessing.get_context(self.config.start_method)
+               if self.config.start_method
+               else multiprocessing.get_context())
+        self._conns = []
+        self._procs = []
+        for i in range(self.n):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(target=_shard_worker,
+                               args=(child, dict(normal), self.n, i),
+                               name=f"repro-shard-{i}", daemon=True)
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+        for i in range(self.n):
+            reply = self._recv(i)
+            self._log({"event": "shard_ready", "shard": i,
+                       "hosts": reply[1]})
+
+    # -- runlog ---------------------------------------------------------
+    def _log(self, record: Dict[str, Any]) -> None:
+        """Append one event to the runlog (same line format as
+        :class:`repro.runner.progress.Progress`)."""
+        if self._runlog_path is None:
+            return
+        self._runlog_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self._runlog_path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps({"ts": time.time(), **record}) + "\n")
+
+    # -- supervised receive ---------------------------------------------
+    def _recv(self, index: int) -> Tuple:
+        """Wait for shard ``index``'s next reply, logging stalls and
+        failing the run on crash, error reply, or timeout."""
+        conn = self._conns[index]
+        cfg = self.config
+        start = time.monotonic()
+        stalled = False
+        while True:
+            waited = time.monotonic() - start
+            if not stalled and waited >= cfg.stall_s:
+                stalled = True
+                self._log({"event": "shard_stall", "shard": index,
+                           "waited_s": round(waited, 3),
+                           "events_executed": self._last_events[index]})
+            if cfg.timeout_s is not None and waited >= cfg.timeout_s:
+                self._fail(index, f"timeout after {cfg.timeout_s}s")
+            if conn.poll(_POLL_S):
+                try:
+                    reply = conn.recv()
+                except EOFError:
+                    self._fail(index, "worker closed its pipe")
+                if reply[0] == "error":
+                    self._fail(index, reply[1])
+                if stalled:
+                    self._log({"event": "shard_resume", "shard": index,
+                               "waited_s": round(
+                                   time.monotonic() - start, 3)})
+                return reply
+            if not self._procs[index].is_alive():
+                self._fail(index, "worker died (exit "
+                                  f"{self._procs[index].exitcode})")
+
+    def _fail(self, index: int, detail: str) -> None:
+        """Record the failure, tear the pool down, and raise."""
+        self._log({"event": "shard_failed", "shard": index,
+                   "error": detail})
+        self.close()
+        raise RuntimeError(f"shard {index} failed: {detail}")
+
+    # -- executor protocol ----------------------------------------------
+    def advance(self, horizon: float, inclusive: bool,
+                inboxes: List[List[Tuple]]) -> List[List[Tuple]]:
+        """Run one barrier window on every shard concurrently."""
+        for i, conn in enumerate(self._conns):
+            conn.send(("advance", horizon, inclusive, inboxes[i]))
+        outs = []
+        for i in range(self.n):
+            reply = self._recv(i)
+            self._last_events[i] += reply[1]
+            outs.append(reply[2])
+        now = time.monotonic()
+        if now - self._last_beat >= self.config.heartbeat_s:
+            self._last_beat = now
+            for i in range(self.n):
+                self._log({"event": "shard_heartbeat", "shard": i,
+                           "sim_now_ns": horizon,
+                           "events_executed": self._last_events[i]})
+        return outs
+
+    def open_windows(self) -> None:
+        """Open measurement windows on every shard."""
+        for conn in self._conns:
+            conn.send(("open",))
+        for i in range(self.n):
+            self._recv(i)
+
+    def finish(self) -> List[Tuple]:
+        """Collect every shard's final export and log its event count."""
+        for conn in self._conns:
+            conn.send(("finish",))
+        finals = []
+        for i in range(self.n):
+            reply = self._recv(i)
+            finals.append(reply[1:])
+            self._log({"event": "shard_done", "shard": i,
+                       "events_executed": reply[4]})
+        return finals
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("exit",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2)
+        for conn in self._conns:
+            conn.close()
+        self._log({"event": "shard_pool_done", "shards": self.n,
+                   "events_executed": list(self._last_events)})

@@ -79,9 +79,17 @@ def _cmd_run(args) -> int:
         normal["seed"] = args.seed
     # Imported here so `validate` / `show` stay usable without pulling in
     # the whole simulator stack.
-    from ..workloads.topo_scenario import compile_scenario
-    scenario = compile_scenario(normal)
-    results = scenario.run()
+    if args.shards > 1:
+        from ..shard import run_sharded
+        pool_config = None
+        if args.shard_mode == "process":
+            from ..runner.shardpool import ShardPoolConfig
+            pool_config = ShardPoolConfig(runlog=args.runlog)
+        results = run_sharded(normal, args.shards, mode=args.shard_mode,
+                              pool_config=pool_config)
+    else:
+        from ..workloads.topo_scenario import compile_scenario
+        results = compile_scenario(normal).run()
     payload = {"scenario": normal["name"] or args.scenario,
                "seed": normal["seed"],
                "hosts": results}
@@ -126,6 +134,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override the scenario's seed")
     p_run.add_argument("--strict-audit", action="store_true",
                        help="exit non-zero on conservation violations")
+    p_run.add_argument("--shards", type=int, default=1,
+                       help="partition the fabric into N conservative "
+                            "shard kernels (docs/SHARDING.md); output "
+                            "is byte-identical to --shards 1")
+    p_run.add_argument("--shard-mode", choices=("inline", "process"),
+                       default="inline",
+                       help="advance shard kernels in this process "
+                            "(inline) or one worker process each")
+    p_run.add_argument("--runlog", default=None,
+                       help="append shard pool events to this "
+                            "runlog.jsonl (process mode only)")
     p_run.set_defaults(func=_cmd_run)
     return parser
 

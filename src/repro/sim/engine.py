@@ -35,6 +35,30 @@ by that sequence number. Fast paths change *what is allocated*, never
 the (time, sequence) order, so identical seeds produce identical event
 ordering on either idiom.
 
+Event domains (sharded parallel DES)
+------------------------------------
+For :mod:`repro.shard`, the calendar supports *domains*: disjoint
+sequence-number ranges, one per partition atom (a switch plus its
+attached hosts). :meth:`Simulator.set_domain` switches the active
+counter; a sequence number drawn in domain ``d`` is the composite
+``(d << DOMAIN_SHIFT) | count``, so ties at equal time order by
+``(domain, per-domain count)`` — an order every shard can reproduce
+locally because it never needs to know how many events *other* domains
+scheduled. A simulator that never leaves domain 0 behaves bit-identically
+to the historical single-counter kernel (composite == plain count).
+Cross-shard messages carry their full ``(time, composite seq)`` key,
+computed by the sending shard, and are inserted verbatim with
+:meth:`Simulator.post_keyed` — no local sequence number is consumed, so
+the merged calendar order equals the single-kernel order. The run loops
+restore the *scheduling* domain of each entry (``seq >> DOMAIN_SHIFT``)
+before executing it, so work scheduled by a resumed callback is charged
+to the correct counter; callbacks that act on another domain's state
+(the fabric's boundary-link deliveries and ACK executions) switch
+domains explicitly at the top. :meth:`Simulator.run_until` is the
+bounded-horizon variant of :meth:`run` used by the conservative
+barrier-window protocol: it drains events strictly below (or up to,
+inclusive) a horizon and counts executed events.
+
 Sanitizer (debug) mode
 ----------------------
 ``Simulator(debug=True)`` — or setting ``REPRO_SIM_DEBUG=1`` in the
@@ -83,7 +107,14 @@ __all__ = [
     "AnyOf",
     "AllOf",
     "SimulationError",
+    "DOMAIN_SHIFT",
 ]
+
+#: Bits reserved for the per-domain event count in a composite sequence
+#: number: domain ``d``'s counters live in ``[d << 40, (d+1) << 40)``,
+#: giving every domain ~1.1e12 events before overflow into the next
+#: domain's range (far beyond any run; the debug loop asserts it).
+DOMAIN_SHIFT = 40
 
 
 class SimulationError(RuntimeError):
@@ -543,6 +574,16 @@ class Simulator:
         self._now: float = 0.0
         self._queue: List[list] = []  # heap of [time, seq, fn, args]
         self._seq = 0
+        #: Active event domain and the saved composite counters of the
+        #: inactive ones (see module docstring, "Event domains"). A
+        #: simulator that never leaves domain 0 keeps ``_multi_domain``
+        #: False and pays nothing on the hot run loop.
+        self._domain = 0
+        self._domain_seqs: dict = {}
+        self._multi_domain = False
+        #: Events executed by :meth:`run_until` (the shard scaling
+        #: metric); plain :meth:`run` does not count.
+        self.events_executed = 0
         self._timeout_pool: List[Timeout] = []
         #: Sanitizer mode (see module docstring). Checked with a plain
         #: attribute load on a handful of scheduling paths; never causes
@@ -566,6 +607,63 @@ class Simulator:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    # -- event domains ----------------------------------------------------
+    @property
+    def domain(self) -> int:
+        """The active event domain (0 unless domains are in use)."""
+        return self._domain
+
+    def set_domain(self, domain: int) -> None:
+        """Make ``domain`` the active sequence-number range.
+
+        Every subsequent scheduling action draws composite sequence
+        numbers ``(domain << DOMAIN_SHIFT) | count`` until the next
+        switch. Counters are preserved across switches. Switching to the
+        already-active domain is a no-op, so single-domain code (domain
+        0 throughout) is bit-identical to the pre-domain kernel.
+        """
+        if domain == self._domain:
+            return
+        self._domain_seqs[self._domain] = self._seq
+        self._seq = self._domain_seqs.get(domain, domain << DOMAIN_SHIFT)
+        self._domain = domain
+        self._multi_domain = True
+
+    def reserve_key(self, delay: float) -> tuple:
+        """Consume one sequence number ``delay`` ns from now *without*
+        scheduling anything; returns the ``(time, seq)`` calendar key.
+
+        This is how a shard kernel stands in for a ``call_later`` whose
+        callback runs in a peer shard: the local counter advances exactly
+        as the single-kernel run's would, and the returned key rides the
+        cross-shard channel so the peer can insert the entry verbatim.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay!r}")
+        if self._debug:
+            self._debug_check_delay(delay)
+        seq = self._seq + 1
+        self._seq = seq
+        return (self._now + delay, seq)
+
+    def post_keyed(self, when: float, seq: int, fn: Callable,
+                   *args: Any) -> list:
+        """Insert a calendar entry with an explicit ``(when, seq)`` key.
+
+        No local sequence number is consumed: the key was allocated by
+        whoever scheduled the work (possibly another shard's kernel, via
+        :meth:`reserve_key`). ``when`` must not be in the past. Returns
+        the entry as a :meth:`cancel`-able handle.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"post_keyed({when}) is in the past (now={self._now})")
+        if self._debug:
+            self._debug_check_delay(when - self._now)
+        entry = [when, seq, fn, args]
+        heappush(self._queue, entry)
+        return entry
 
     # -- sanitizer teardown ----------------------------------------------
     def alive_processes(self) -> List[Process]:
@@ -695,6 +793,10 @@ class Simulator:
             raise SimulationError(
                 f"event time went backwards: {entry[0]!r} < {self._now!r}")
         self._now = entry[0]
+        if self._multi_domain:
+            domain = entry[1] >> DOMAIN_SHIFT
+            if domain != self._domain:
+                self.set_domain(domain)
         args = entry[3]
         if args:
             entry[2](*args)
@@ -710,6 +812,9 @@ class Simulator:
         """
         if self._debug:
             self._run_debug(until)
+            return
+        if self._multi_domain:
+            self._run_domains(until)
             return
         queue = self._queue
         pop = heappop
@@ -741,6 +846,78 @@ class Simulator:
         if self._now < until:
             self._now = until
 
+    def _run_domains(self, until: Optional[float]) -> None:
+        """Release run loop for multi-domain simulators: identical to
+        :meth:`run` plus restoring each entry's scheduling domain
+        (``seq >> DOMAIN_SHIFT``) before executing it, so cascaded
+        scheduling draws from the correct per-domain counter."""
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"run(until={until}) is in the past (now={self._now})")
+        queue = self._queue
+        pop = heappop
+        while queue:
+            entry = queue[0]
+            when = entry[0]
+            if until is not None and when > until:
+                break
+            pop(queue)
+            self._now = when
+            domain = entry[1] >> DOMAIN_SHIFT
+            if domain != self._domain:
+                self.set_domain(domain)
+            args = entry[3]
+            if args:
+                entry[2](*args)
+            else:
+                entry[2]()
+        if until is not None and self._now < until:
+            self._now = until
+
+    def run_until(self, until: float, inclusive: bool = False) -> int:
+        """Bounded-horizon run for the conservative shard protocol.
+
+        Drains every entry with time strictly below ``until`` — or at
+        most ``until`` when ``inclusive`` — then advances the clock to
+        exactly ``until`` and returns the number of events executed
+        (also accumulated on :attr:`events_executed`). Exclusive windows
+        are what barrier synchronisation needs: events *at* a barrier
+        belong to the next window, except at the final horizon where
+        ``inclusive=True`` reproduces ``run(until=T)`` semantics.
+        """
+        if until < self._now:
+            raise SimulationError(
+                f"run_until({until}) is in the past (now={self._now})")
+        if self._debug and self._closed:
+            raise SimulationError("run_until() after Simulator.close()")
+        queue = self._queue
+        pop = heappop
+        debug = self._debug
+        executed = 0
+        while queue:
+            entry = queue[0]
+            when = entry[0]
+            if when > until or (when == until and not inclusive):
+                break
+            if debug and not when >= self._now:
+                raise SimulationError(
+                    f"event time went backwards: {when!r} < {self._now!r}")
+            pop(queue)
+            self._now = when
+            domain = entry[1] >> DOMAIN_SHIFT
+            if domain != self._domain:
+                self.set_domain(domain)
+            executed += 1
+            args = entry[3]
+            if args:
+                entry[2](*args)
+            else:
+                entry[2]()
+        if self._now < until:
+            self._now = until
+        self.events_executed += executed
+        return executed
+
     def _run_debug(self, until: Optional[float]) -> None:
         """Sanitizer run loop: same semantics as :meth:`run`, plus a
         monotonic-time assertion (which also rejects NaN event times) on
@@ -760,6 +937,10 @@ class Simulator:
                 break
             entry = heappop(queue)
             self._now = when
+            if self._multi_domain:
+                domain = entry[1] >> DOMAIN_SHIFT
+                if domain != self._domain:
+                    self.set_domain(domain)
             args = entry[3]
             if args:
                 entry[2](*args)

@@ -12,7 +12,9 @@ from __future__ import annotations
 from .builders import fat_tree, leaf_spine, star, two_host
 from .fabric import Fabric, HostEndpoint, HostRng, SwitchNode
 from .graph import HostSpec, LinkSpec, Topology
+from .partition import ShardPlan, partition
 
 __all__ = ["Topology", "HostSpec", "LinkSpec",
            "two_host", "star", "leaf_spine", "fat_tree",
-           "Fabric", "HostEndpoint", "HostRng", "SwitchNode"]
+           "Fabric", "HostEndpoint", "HostRng", "SwitchNode",
+           "ShardPlan", "partition"]

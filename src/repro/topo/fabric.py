@@ -24,11 +24,34 @@ Determinism:
   registration counter (``index % len(candidates)`` over name-sorted
   candidates), never by global flow ids, which depend on what ran
   earlier in the process.
+
+Event domains and shard scope (:mod:`repro.shard`):
+
+Every scheduling action is charged to the *event domain* of the
+partition atom (a switch plus its attached hosts) whose state it
+touches: ``domain == index of the switch in topology.switches``.
+Construction sites are bracketed with :meth:`Fabric.in_domain`; the two
+genuinely cross-domain runtime callbacks — interior switch-to-switch
+delivery and ACK execution at the client — switch domains explicitly at
+the top (see ``repro.sim.engine``, "Event domains"). On a single-switch
+topology everything stays in domain 0 and the kernel's historical
+single-counter fast path is bit-identical.
+
+A fabric built with ``scope={switch names}`` materialises live
+components only for the scoped atoms (their endpoints, ports, senders)
+while still replicating the *entire* deterministic build control flow —
+flow registration ordinals, ECMP route draws, ACK-delay sums, per-host
+RNG stream draws — so each shard's per-domain sequence counters advance
+exactly as the single-kernel run's do. Boundary (cut) links serialise
+packets into cross-shard channel messages carrying their full
+``(time, composite seq)`` calendar key; see :meth:`Fabric.attach_channels`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from contextlib import contextmanager
+from typing import (Any, Callable, Dict, Iterable, List, Optional, Set,
+                    Tuple)
 
 from ..hw import Host, HostConfig
 from ..net.dctcp import DctcpConfig, DctcpSender
@@ -138,6 +161,20 @@ class HostEndpoint:
         self.sim.run(until=until)
 
 
+def _cut_deliver(packet) -> None:  # pragma: no cover - contract guard
+    raise RuntimeError(
+        "boundary-link local delivery invoked: a cut egress must ship "
+        "its packets over the shard channel (attach_channels not called?)")
+
+
+#: Fields a boundary-crossing packet carries by value. ``flow`` travels
+#: as the fabric registration *ordinal* (process-global flow ids never
+#: cross shard boundaries); ``size`` is derived from the payload.
+_SNAP_FIELDS = ("seq", "payload", "message_id", "last_in_message",
+                "ecn_marked", "send_time", "first_send_time",
+                "arrival_time", "delivered_time", "retransmitted")
+
+
 class Fabric:
     """A compiled topology: hosts, switches, ports, routes, transports."""
 
@@ -145,15 +182,33 @@ class Fabric:
                  host_config: Optional[HostConfig] = None,
                  host_configs: Optional[Dict[str, HostConfig]] = None,
                  dctcp_config: Optional[DctcpConfig] = None,
-                 seed: int = 0):
+                 seed: int = 0,
+                 scope: Optional[Iterable[str]] = None):
         self.topology = topology
         self.sim = Simulator()
         self.rng = RngRegistry(seed)
         self.dctcp_config = dctcp_config or DctcpConfig()
         self.senders: Dict[int, DctcpSender] = {}
         self.endpoints: Dict[str, HostEndpoint] = {}
+        #: Switch name -> event domain (its index in topology.switches);
+        #: identical in every shard and in the single kernel.
+        self._domain_of_switch: Dict[str, int] = {
+            name: i for i, name in enumerate(topology.switches)}
+        self._switch_set: Set[str] = set(topology.switches)
+        #: Shard scope: the set of locally-materialised switches, or
+        #: None for the full (single-kernel) build.
+        self.scope: Optional[frozenset] = (
+            None if scope is None else frozenset(scope))
+        if self.scope is not None:
+            unknown = self.scope - self._switch_set
+            if unknown:
+                raise ValueError(
+                    f"scope names unknown switches: {sorted(unknown)}")
+            if not self.scope:
+                raise ValueError("scope must name at least one switch")
         self.switches: Dict[str, SwitchNode] = {
-            name: SwitchNode(name) for name in topology.switches}
+            name: SwitchNode(name) for name in topology.switches
+            if self.is_local_switch(name)}
         #: (flow_id, switch) -> egress port the switch forwards on.
         self._next_port: Dict[Tuple[int, str], SwitchPort] = {}
         #: flow_id -> total reverse-path (ACK) delay, ns.
@@ -161,6 +216,28 @@ class Fabric:
         #: flow_id -> source host name (diagnostics / experiments).
         self.flow_sources: Dict[int, str] = {}
         self._flow_seq = 0
+        #: Registration ordinal -> Flow, and the inverse. Channel
+        #: messages address flows by ordinal: it is the only flow
+        #: identity every shard derives identically.
+        self.flows_by_ordinal: List[Flow] = []
+        self.flow_ordinal: Dict[int, int] = {}
+        #: flow_id -> cross-domain ACK executor (None when client and
+        #: server share a domain and the legacy direct path applies).
+        self._ack_execs: Dict[int, Optional[Callable]] = {}
+        self._ack_exec_cache: Dict[int, Callable] = {}
+        #: Cross-shard ACK channel emitter, installed by attach_channels.
+        self._ack_emit: Optional[Callable] = None
+        #: Cut-link halves (scoped fabrics only): locally-owned egresses
+        #: whose delivery runs in a peer shard, and locally-owned ingress
+        #: dispatches fed by a peer shard's egress.
+        self._cut_egress: List[Tuple[str, str, SwitchPort]] = []
+        self._cut_ingress: Dict[Tuple[str, str], Callable] = {}
+        self._cut_ingress_counters: Dict[Tuple[str, str],
+                                         Tuple[str, Counter]] = {}
+        #: Switch -> its egress neighbours in port-creation order, for
+        #: *every* switch (scoped builds replay the full plan), so any
+        #: shard can name a remote switch's audit port index.
+        self._port_order: Dict[str, List[str]] = {}
 
         servers = topology.server_hosts
         if not servers:
@@ -171,15 +248,61 @@ class Fabric:
         # Hosts first, then ports — the legacy Testbed construction order,
         # which fixes process-creation order inside the kernel.
         for spec in servers:
+            if not self.is_local_host(spec.name):
+                continue
             prefix = "" if self.legacy else f"{spec.name}."
-            self.endpoints[spec.name] = HostEndpoint(
-                self, spec.name, prefix,
-                (host_configs or {}).get(spec.name, host_config))
-        #: Per-destination next-hop candidate tables.
+            with self.host_domain(spec.name):
+                self.endpoints[spec.name] = HostEndpoint(
+                    self, spec.name, prefix,
+                    (host_configs or {}).get(spec.name, host_config))
+        #: Per-destination next-hop candidate tables (all servers, local
+        #: or not: routing and the port plan are global facts).
         self._tables: Dict[str, Dict[str, Tuple[str, ...]]] = {
             spec.name: topology.next_hops_toward(spec.name)
             for spec in servers}
         self._build_ports()
+
+    # ------------------------------------------------------------------
+    # Shard scope / event domains
+    # ------------------------------------------------------------------
+    def is_local_switch(self, switch: str) -> bool:
+        return self.scope is None or switch in self.scope
+
+    def is_local_host(self, host: str) -> bool:
+        if self.scope is None:
+            return True
+        attach_sw, _link = self.topology.attachment(host)
+        return attach_sw in self.scope
+
+    def domain_of_host(self, host: str) -> int:
+        attach_sw, _link = self.topology.attachment(host)
+        return self._domain_of_switch[attach_sw]
+
+    @contextmanager
+    def in_domain(self, domain: int):
+        """Charge every scheduling action in the block to ``domain``
+        (build-time bracketing; no-op when already active)."""
+        sim = self.sim
+        prev = sim.domain
+        sim.set_domain(domain)
+        try:
+            yield
+        finally:
+            sim.set_domain(prev)
+
+    def host_domain(self, host: str):
+        return self.in_domain(self.domain_of_host(host))
+
+    def switch_domain(self, switch: str):
+        return self.in_domain(self._domain_of_switch[switch])
+
+    def host_rng(self, host: str) -> Any:
+        """The RNG namespace of ``host``, materialised or not — scoped
+        builds replicate remote hosts' draws through this (stream seeds
+        are pure functions of (root seed, name), never of locality)."""
+        if self.legacy:
+            return self.rng
+        return HostRng(self.rng, f"{host}.")
 
     # ------------------------------------------------------------------
     # Wiring
@@ -187,7 +310,13 @@ class Fabric:
     def _build_ports(self) -> None:
         """Create one ``SwitchPort`` per egress direction actually used
         by some client->server route, in deterministic order (servers in
-        topology order, switches in topology order, candidates sorted)."""
+        topology order, switches in topology order, candidates sorted).
+
+        The plan is always computed for the *full* topology; a scoped
+        build materialises only ports owned by scoped switches, records
+        every switch's port order for cross-shard audit naming, and
+        splits cut links into an egress half (local port, channel
+        emitter) and an ingress half (forwarded counter + dispatch)."""
         topo = self.topology
         plan: Dict[Tuple[str, str], LinkSpec] = {}
         for spec in topo.server_hosts:
@@ -198,31 +327,59 @@ class Fabric:
                 for nbr in table.get(sw, ()):
                     plan.setdefault((sw, nbr), topo.link_between(sw, nbr))
         for (sw, nbr), link in plan.items():
+            self._port_order.setdefault(sw, []).append(nbr)
+            nbr_is_switch = nbr in self._switch_set
+            if not self.is_local_switch(sw):
+                # Peer-owned egress; if it feeds a local switch, build
+                # the ingress half (the forwarded counter lives with the
+                # switch that *receives* the packets).
+                if nbr_is_switch and self.is_local_switch(nbr):
+                    counter = Counter(f"{link.name}:{sw}>{nbr}.forwarded")
+                    self._cut_ingress[(sw, nbr)] = \
+                        self._make_forwarder(counter, nbr)
+                    self._cut_ingress_counters[(sw, nbr)] = (
+                        f"{link.name}:{sw}>{nbr}", counter)
+                continue
             node = self.switches[sw]
+            cut = nbr_is_switch and not self.is_local_switch(nbr)
             if nbr in self.endpoints:
-                endpoint = self.endpoints[nbr]
-                deliver = endpoint._deliver
+                endpoint: Optional[HostEndpoint] = self.endpoints[nbr]
+                deliver: Callable = endpoint._deliver
                 name = link.name
+            elif cut:
+                endpoint = None
+                deliver = _cut_deliver
+                name = f"{link.name}:{sw}>{nbr}"
             else:
+                endpoint = None
                 counter = Counter(f"{link.name}:{sw}>{nbr}.forwarded")
                 node.forwarded[nbr] = counter
                 deliver = self._make_forwarder(counter, nbr)
                 name = f"{link.name}:{sw}>{nbr}"
-            port = SwitchPort(
-                self.sim, rate=link.rate, propagation=link.delay,
-                deliver=deliver, buffer_bytes=link.buffer,
-                ecn_threshold=link.ecn_threshold, name=name)
+            with self.switch_domain(sw):
+                port = SwitchPort(
+                    self.sim, rate=link.rate, propagation=link.delay,
+                    deliver=deliver, buffer_bytes=link.buffer,
+                    ecn_threshold=link.ecn_threshold, name=name)
             node.ports[nbr] = port
-            if nbr in self.endpoints:
-                self.endpoints[nbr].port = port
+            if endpoint is not None:
+                endpoint.port = port
+            if cut:
+                self._cut_egress.append((sw, nbr, port))
 
     def _make_forwarder(self, counter: Counter,
                         next_switch: str) -> Callable[[Packet], None]:
-        """Ingress dispatch at ``next_switch``: count the handoff, then
-        send on the flow's pre-chosen egress out of that switch."""
+        """Ingress dispatch at ``next_switch``: enter its event domain,
+        count the handoff, then send on the flow's pre-chosen egress out
+        of that switch. The domain switch charges the enqueue (and any
+        egress wake-up) to the switch that owns the queue, which is what
+        lets a peer shard replay this callback identically."""
         next_port = self._next_port
+        sim = self.sim
+        domain = self._domain_of_switch[next_switch]
 
         def deliver(packet: Packet) -> None:
+            sim.set_domain(domain)
             counter.add(1)
             next_port[(packet.flow.flow_id, next_switch)].send(packet)
 
@@ -233,22 +390,34 @@ class Fabric:
     # ------------------------------------------------------------------
     def add_flow(self, flow: Flow, src: Optional[str] = None,
                  dst: Optional[str] = None, late_ok: bool = False
-                 ) -> DctcpSender:
+                 ) -> Optional[DctcpSender]:
         """Create the sender-side transport for ``flow`` from client
         ``src`` to server ``dst``, pin its route, and register it with
-        the destination's I/O architecture."""
+        the destination's I/O architecture.
+
+        On a scoped fabric the call must still be made for *every* flow
+        (the registration ordinal, ECMP draw, and ACK delay are global
+        bookkeeping every shard replicates); live pieces are built only
+        for local atoms, and ``None`` is returned when the client is
+        remote."""
         topo = self.topology
         if dst is None:
+            if self.scope is not None:
+                raise ValueError(
+                    "scoped fabrics need an explicit dst (the default "
+                    "'first endpoint' differs per shard)")
             dst = next(iter(self.endpoints))
-        endpoint = self.endpoints[dst]
-        if endpoint.io_arch is None:
+        endpoint = self.endpoints.get(dst)
+        if self.scope is None and endpoint is None:
+            raise KeyError(dst)
+        if endpoint is not None and endpoint.io_arch is None:
             raise RuntimeError("install_io_arch() before add_flow()")
         if src is None:
             clients = topo.client_hosts
             src = clients[0].name if clients else None
         if src is None or src not in topo.hosts:
             raise ValueError(f"unknown source host {src!r}")
-        window = endpoint.active_window
+        window = endpoint.active_window if endpoint is not None else None
         if window is not None and not late_ok:
             raise RuntimeError(
                 f"add_flow({flow.name!r}) on {dst!r} after measurement "
@@ -270,29 +439,48 @@ class Fabric:
         while sw != dst_sw:
             candidates = table[sw]
             nxt = candidates[index % len(candidates)]
-            self._next_port[(flow.flow_id, sw)] = \
-                self.switches[sw].ports[nxt]
+            if sw in self.switches:
+                self._next_port[(flow.flow_id, sw)] = \
+                    self.switches[sw].ports[nxt]
             path_links.append(topo.link_between(sw, nxt))
             sw = nxt
-        self._next_port[(flow.flow_id, dst_sw)] = \
-            self.switches[dst_sw].ports[dst]
+        if dst_sw in self.switches:
+            self._next_port[(flow.flow_id, dst_sw)] = \
+                self.switches[dst_sw].ports[dst]
         path_links.append(dst_link)
 
-        entry_port = self._next_port[(flow.flow_id, src_sw)]
-        uplink = src_link.delay
-        if uplink == 0.0:
-            egress = entry_port.send
-        else:
-            egress = self._make_uplink(uplink, entry_port)
         self._ack_delay[flow.flow_id] = sum(
             link.reverse_delay for link in path_links)
-        sender = DctcpSender(self.sim, flow, egress, self.dctcp_config)
-        self.senders[flow.flow_id] = sender
         self.flow_sources[flow.flow_id] = src
-        endpoint.flows.append(flow)
-        endpoint.io_arch.register_flow(flow)
-        if window is not None:
-            window.note_new_flow(flow)
+        self.flow_ordinal[flow.flow_id] = len(self.flows_by_ordinal)
+        self.flows_by_ordinal.append(flow)
+        src_domain = self._domain_of_switch[src_sw]
+        dst_domain = self._domain_of_switch[dst_sw]
+        # Same-domain flows keep the legacy direct ACK path (the domain
+        # switch would be a no-op); cross-domain flows execute ACKs
+        # under the client's domain.
+        self._ack_execs[flow.flow_id] = (
+            None if src_domain == dst_domain
+            else self._ack_exec_for(src_domain))
+
+        sender: Optional[DctcpSender] = None
+        if self.is_local_host(src):
+            entry_port = self._next_port[(flow.flow_id, src_sw)]
+            uplink = src_link.delay
+            if uplink == 0.0:
+                egress = entry_port.send
+            else:
+                egress = self._make_uplink(uplink, entry_port)
+            with self.in_domain(src_domain):
+                sender = DctcpSender(self.sim, flow, egress,
+                                     self.dctcp_config)
+            self.senders[flow.flow_id] = sender
+        if endpoint is not None:
+            endpoint.flows.append(flow)
+            with self.in_domain(dst_domain):
+                endpoint.io_arch.register_flow(flow)
+            if window is not None:
+                window.note_new_flow(flow)
         return sender
 
     def _make_uplink(self, delay: float,
@@ -307,27 +495,153 @@ class Fabric:
 
         return egress
 
+    def _ack_exec_for(self, domain: int) -> Callable:
+        """The shared per-domain ACK executor: enters the client's event
+        domain, then delivers the ACK to the sender captured at schedule
+        time (preserving crashed-sender semantics: a sender that was
+        live when the ACK was scheduled still hears it)."""
+        exec_ = self._ack_exec_cache.get(domain)
+        if exec_ is None:
+            sim = self.sim
+
+            def exec_(sender: DctcpSender, seq: int, marked: bool) -> None:
+                sim.set_domain(domain)
+                sender.on_ack(seq, marked)
+
+            self._ack_exec_cache[domain] = exec_
+        return exec_
+
     # ------------------------------------------------------------------
     # Reverse path
     # ------------------------------------------------------------------
     def ack(self, packet: Packet, extra_mark: bool = False) -> None:
-        sender = self.senders.get(packet.flow.flow_id)
-        if sender is None:
-            return
+        fid = packet.flow.flow_id
+        sender = self.senders.get(fid)
         marked = packet.ecn_marked or extra_mark
-        self.sim.call_later(self._ack_delay[packet.flow.flow_id],
-                            sender.on_ack, packet.seq, marked)
+        if sender is not None:
+            exec_ = self._ack_execs[fid]
+            if exec_ is None:
+                self.sim.call_later(self._ack_delay[fid],
+                                    sender.on_ack, packet.seq, marked)
+            else:
+                self.sim.call_later(self._ack_delay[fid],
+                                    exec_, sender, packet.seq, marked)
+            return
+        # Scoped fabric, client in a peer shard: consume the one
+        # sequence number the single-kernel call_later would have and
+        # ship the full calendar key over the ACK channel. (An unscoped
+        # fabric lands here only for crashed flows, whose ACKs drop.)
+        if self._ack_emit is not None:
+            ordinal = self.flow_ordinal.get(fid)
+            if ordinal is not None and \
+                    not self.is_local_host(self.flow_sources[fid]):
+                when, seq = self.sim.reserve_key(self._ack_delay[fid])
+                self._ack_emit(ordinal, when, seq, packet.seq, marked)
 
     def run(self, until: float) -> None:
         self.sim.run(until=until)
 
     # ------------------------------------------------------------------
+    # Cross-shard channels (repro.shard)
+    # ------------------------------------------------------------------
+    def attach_channels(self, packet_emit: Callable,
+                        ack_emit: Callable) -> None:
+        """Install the shard kernel's channel emitters on a scoped
+        fabric. ``packet_emit(src_sw, dst_sw, when, seq, snap)`` ships a
+        boundary-crossing packet; ``ack_emit(ordinal, when, seq,
+        pkt_seq, marked)`` ships an ACK whose client is remote. Both
+        carry the exact ``(time, composite seq)`` calendar key consumed
+        locally, so the peer inserts the entry verbatim."""
+        if self.scope is None:
+            raise RuntimeError("attach_channels() requires a scoped fabric")
+        self._ack_emit = ack_emit
+        for src_sw, dst_sw, port in self._cut_egress:
+            port._wire_send = self._make_cut_emitter(
+                port, src_sw, dst_sw, packet_emit)
+
+    def _make_cut_emitter(self, port: SwitchPort, src_sw: str,
+                          dst_sw: str, emit: Callable) -> Callable:
+        """The boundary replacement for ``SwitchPort._wire_schedule``:
+        schedule the *local* half of the wire arrival (the in-flight
+        decrement) — consuming exactly the one sequence number the
+        single-kernel arrival would — and ship the entry's key plus a
+        packet snapshot to the peer, which replays the delivery half
+        under the identical key."""
+        sim = self.sim
+        snapshot = self.snapshot_packet
+
+        def wire_send(packet: Packet) -> None:
+            entry = sim.call_later(port.propagation,
+                                   port._wire_depart, packet)
+            emit(src_sw, dst_sw, entry[0], entry[1], snapshot(packet))
+
+        return wire_send
+
+    def snapshot_packet(self, packet: Packet) -> tuple:
+        """Serialise a packet by value for the cross-shard channel."""
+        return (self.flow_ordinal[packet.flow.flow_id],
+                ) + tuple(getattr(packet, f) for f in _SNAP_FIELDS)
+
+    def restore_packet(self, snap: tuple) -> Packet:
+        """Rebuild a channel packet against this shard's own Flow
+        object for the ordinal (field-for-field identical to the copy
+        the single-kernel run would be holding)."""
+        flow = self.flows_by_ordinal[snap[0]]
+        packet = Packet(flow, snap[1], snap[2], message_id=snap[3],
+                        last_in_message=snap[4])
+        (packet.ecn_marked, packet.send_time, packet.first_send_time,
+         packet.arrival_time, packet.delivered_time,
+         packet.retransmitted) = snap[5:]
+        return packet
+
+    def inject_packet(self, src_sw: str, dst_sw: str, when: float,
+                      seq: int, snap: tuple) -> None:
+        """Insert a peer shard's boundary-link delivery verbatim."""
+        deliver = self._cut_ingress[(src_sw, dst_sw)]
+        self.sim.post_keyed(when, seq, deliver, self.restore_packet(snap))
+
+    def inject_ack(self, ordinal: int, when: float, seq: int,
+                   pkt_seq: int, marked: bool) -> None:
+        """Insert a peer shard's ACK delivery verbatim (the client of
+        flow ``ordinal`` lives here)."""
+        flow = self.flows_by_ordinal[ordinal]
+        sender = self.senders.get(flow.flow_id)
+        if sender is None:  # pragma: no cover - faults are rejected sharded
+            return
+        exec_ = self._ack_execs[flow.flow_id]
+        assert exec_ is not None  # cross-shard implies cross-domain
+        self.sim.post_keyed(when, seq, exec_, sender, pkt_seq, marked)
+
+    # ------------------------------------------------------------------
     def interior_ports(self) -> List[Tuple[str, int, SwitchPort, Counter]]:
         """(switch, port index, port, forwarded counter) for every
-        switch-to-switch egress, in creation order — the audit hook."""
+        switch-to-switch egress whose both ends are local, in creation
+        order — the audit hook."""
         out = []
         for node in self.switches.values():
             for i, (nbr, port) in enumerate(node.ports.items()):
                 if nbr in node.forwarded:
                     out.append((node.name, i, port, node.forwarded[nbr]))
+        return out
+
+    def cut_egresses(self) -> List[Tuple[str, int, SwitchPort, str]]:
+        """(switch, port index, port, peer switch) for every locally-
+        owned boundary egress (scoped fabrics only). The index matches
+        the single-kernel ``switch.<sw>.port.<i>`` audit naming."""
+        out = []
+        for sw, nbr, port in self._cut_egress:
+            out.append((sw, self.switches[sw].port_index(nbr), port, nbr))
+        return out
+
+    def cut_ingresses(self) -> List[Tuple[str, int, str, Counter]]:
+        """(peer switch, peer port index, peer switch name, forwarded
+        counter) for every locally-owned boundary ingress half. The
+        port index is computed from the replayed full port plan, so it
+        names the same ``switch.<peer>.port.<i>`` account the peer (and
+        the single kernel) uses."""
+        out = []
+        for (src_sw, dst_sw), (_name, counter) in \
+                sorted(self._cut_ingress_counters.items()):
+            index = self._port_order[src_sw].index(dst_sw)
+            out.append((src_sw, index, dst_sw, counter))
         return out

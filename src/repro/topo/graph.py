@@ -179,6 +179,19 @@ class Topology:
                 raise ValueError(
                     f"host {name!r} must attach to exactly one switch "
                     f"(has {degree} links)")
+        for link in self.links:
+            if (link.a in self.hosts or link.b in self.hosts):
+                continue
+            # Inter-switch links are the conservative-sync boundaries of
+            # repro.shard: a zero-delay hop would make the lookahead
+            # degenerate (no window in which shards can run independently),
+            # so it is a topology error, addressed like a scenario path.
+            if link.delay == 0:
+                raise ValueError(
+                    f"topology.links[{link.name}].delay: inter-switch link "
+                    f"{link.a!r}--{link.b!r} has delay == 0; switch-switch "
+                    "links need positive propagation delay (it is the "
+                    "conservative lookahead for sharded execution)")
         self._check_connected()
 
     # ------------------------------------------------------------------
@@ -207,6 +220,34 @@ class Topology:
         """Adjacent switches, sorted by name (deterministic ECMP order)."""
         return sorted(link.other(switch) for link in self._adjacent[switch]
                       if link.other(switch) not in self.hosts)
+
+    def switch_links(self) -> List[LinkSpec]:
+        """The inter-switch links, in declaration order (the only edges a
+        shard partition may cut)."""
+        return [link for link in self.links
+                if link.a not in self.hosts and link.b not in self.hosts]
+
+    def lookahead(self) -> float:
+        """The conservative-sync lookahead of this topology, ns.
+
+        The minimum over every inter-switch link of
+        ``min(delay, reverse_delay)``: no causal influence can cross a
+        switch boundary in less simulated time, so shards may run that
+        far without hearing from each other. ``inf`` for a single-switch
+        (uncuttable) topology. Raises if any inter-switch link has a
+        zero reverse (ACK) delay — the forward direction is already
+        rejected at validation.
+        """
+        horizon = float("inf")
+        for link in self.switch_links():
+            if link.reverse_delay == 0:
+                raise ValueError(
+                    f"topology.links[{link.name}].ack_delay: inter-switch "
+                    f"link {link.a!r}--{link.b!r} has reverse delay == 0; "
+                    "sharded execution needs positive lookahead in both "
+                    "directions")
+            horizon = min(horizon, link.delay, link.reverse_delay)
+        return horizon
 
     def _check_connected(self) -> None:
         if not self.switches:

@@ -85,7 +85,8 @@ class TopoScenario:
     #: ``REPRO_SIM_DEBUG=1``, ns (the legacy Scenario's contract).
     AUDIT_BARRIER_NS = 50 * US
 
-    def __init__(self, spec: Mapping[str, Any]):
+    def __init__(self, spec: Mapping[str, Any],
+                 scope: Optional[Any] = None):
         self.normal = validate(spec)
         self.canonical = canonical(self.normal)
         self.topology = build_topology(self.normal)
@@ -101,12 +102,13 @@ class TopoScenario:
                 cfg["scale"], cfg["set_associative_cache"],
                 cfg["io_buf_size"], cores=cfg["cores"])
         self.fabric = Fabric(self.topology, host_configs=host_configs,
-                             seed=self.seed)
-        self.primary = next(iter(self.fabric.endpoints))
+                             seed=self.seed, scope=scope)
+        self.primary = next(iter(self.fabric.endpoints), None)
         for name, endpoint in self.fabric.endpoints.items():
-            endpoint.install_io_arch(
-                self._build_arch(endpoint, self._host_cfg[name],
-                                 host_configs[name]))
+            with self.fabric.host_domain(name):
+                endpoint.install_io_arch(
+                    self._build_arch(endpoint, self._host_cfg[name],
+                                     host_configs[name]))
         #: One KV store per server host (ErpcServer handlers close over
         #: it); seeded like the legacy scenario's.
         self.kv: Dict[str, KvStore] = {
@@ -120,6 +122,7 @@ class TopoScenario:
         self.fault_controllers: List[FaultController] = []
         self.reconciler: Optional[Reconciler] = None
         self._built = False
+        self._windows: Dict[str, MeasurementWindow] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -145,6 +148,11 @@ class TopoScenario:
                                       sources[i % len(sources)])
         plan = fault_plan_of(self.normal)
         if plan:
+            if self.fabric.scope is not None:
+                raise ValueError(
+                    "fault plans are not supported under sharded "
+                    "execution (crash/restart and injected loss are "
+                    "whole-fabric operations; run with --shards 1)")
             for host, host_plan in plan.split_by_host(self.primary).items():
                 controller = FaultController(
                     self.fabric.endpoints[host], host_plan,
@@ -157,55 +165,89 @@ class TopoScenario:
 
     def _add_tenant_flow(self, tenant: Mapping[str, Any], name: str,
                          src: str, late_ok: bool = False) -> _FlowRecord:
+        """Wire one flow end to end. On a scoped (shard) fabric this is
+        still called for *every* flow — registration ordinals, ECMP
+        draws, and RNG stream positions are global bookkeeping every
+        shard replicates — but live pieces (server stack, source,
+        transport) are built only on the shards owning their hosts.
+        Construction is bracketed in the owning atoms' event domains so
+        per-domain sequence counters advance identically everywhere."""
+        fabric = self.fabric
         host = tenant["host"]
-        endpoint = self.fabric.endpoints[host]
-        arch = endpoint.io_arch
+        endpoint = fabric.endpoints.get(host)
+        if endpoint is None and fabric.scope is None:
+            raise KeyError(host)
+        local_src = fabric.is_local_host(src)
+        server = None
         if tenant["workload"] == "linefs":
             flow = Flow(FlowKind.CPU_BYPASS, name=name,
                         message_payload=tenant["payload"],
                         packets_per_message=tenant["chunk_packets"])
-            sender = self.fabric.add_flow(flow, src=src, dst=host,
-                                          late_ok=late_ok)
-            core = endpoint.host.cpu.allocate()
-            server = LineFsServer(arch, core)
-            server.attach_flow(flow)
-            server.start()
-            source = SaturatingSource(self.fabric.sim, sender,
-                                      outstanding=tenant["outstanding"])
+            sender = fabric.add_flow(flow, src=src, dst=host,
+                                     late_ok=late_ok)
+            if endpoint is not None:
+                with fabric.host_domain(host):
+                    core = endpoint.host.cpu.allocate()
+                    server = LineFsServer(endpoint.io_arch, core)
+                    server.attach_flow(flow)
+                    server.start()
+            source = None
+            if local_src:
+                with fabric.host_domain(src):
+                    source = SaturatingSource(
+                        fabric.sim, sender,
+                        outstanding=tenant["outstanding"])
         else:
             flow = Flow(FlowKind.CPU_INVOLVED, name=name,
                         message_payload=tenant["payload"],
                         packets_per_message=1)
-            sender = self.fabric.add_flow(flow, src=src, dst=host,
-                                          late_ok=late_ok)
-            core = endpoint.host.cpu.allocate()
-            erpc_config = ErpcConfig(transport=tenant["transport"])
-            erpc_config.rpc_overhead_cycles += tenant["app_extra_cycles"]
-            handler = (self.kv[host].handle
-                       if tenant["workload"] == "kvstore" else echo_handler)
-            server = ErpcServer(arch, flow, core, handler,
-                                config=erpc_config)
-            server.start()
-            if tenant["open_loop_mpps"] is not None:
-                rate = (tenant["open_loop_mpps"] * 1e-3
-                        / max(1, tenant["flows"]))
-                source = OpenLoopSource(
-                    self.fabric.sim, sender, rate_msgs_per_ns=rate,
-                    rng=endpoint.rng.stream(f"openloop-{name}"))
-            else:
-                source = SaturatingSource(self.fabric.sim, sender,
-                                          outstanding=tenant["outstanding"])
-        source.start(delay=self._stagger(endpoint))
+            sender = fabric.add_flow(flow, src=src, dst=host,
+                                     late_ok=late_ok)
+            if endpoint is not None:
+                with fabric.host_domain(host):
+                    core = endpoint.host.cpu.allocate()
+                    erpc_config = ErpcConfig(transport=tenant["transport"])
+                    erpc_config.rpc_overhead_cycles += \
+                        tenant["app_extra_cycles"]
+                    handler = (self.kv[host].handle
+                               if tenant["workload"] == "kvstore"
+                               else echo_handler)
+                    server = ErpcServer(endpoint.io_arch, flow, core,
+                                        handler, config=erpc_config)
+                    server.start()
+            source = None
+            if local_src:
+                with fabric.host_domain(src):
+                    if tenant["open_loop_mpps"] is not None:
+                        rate = (tenant["open_loop_mpps"] * 1e-3
+                                / max(1, tenant["flows"]))
+                        source = OpenLoopSource(
+                            fabric.sim, sender, rate_msgs_per_ns=rate,
+                            rng=fabric.host_rng(host).stream(
+                                f"openloop-{name}"))
+                    else:
+                        source = SaturatingSource(
+                            fabric.sim, sender,
+                            outstanding=tenant["outstanding"])
+        # The stagger draw advances the destination host's stream on
+        # every shard, local or not: later flows toward the same host
+        # must see the same stream position everywhere.
+        stagger = self._stagger(host)
+        if source is not None:
+            with fabric.host_domain(src):
+                source.start(delay=stagger)
         record = _FlowRecord(flow, server, source, tenant, src)
-        bucket = (self.bypass if tenant["workload"] == "linefs"
-                  else self.involved)
-        bucket[host].append(record)
+        if endpoint is not None:
+            bucket = (self.bypass if tenant["workload"] == "linefs"
+                      else self.involved)
+            bucket[host].append(record)
         return record
 
-    def _stagger(self, endpoint: HostEndpoint) -> float:
+    def _stagger(self, host: str) -> float:
         """Per-host client stagger (the legacy unprefixed stream on a
         legacy-named two-host fabric; ``<host>.client-stagger`` else)."""
-        return endpoint.rng.stream("client-stagger").uniform(0, 20_000.0)
+        return self.fabric.host_rng(host).stream(
+            "client-stagger").uniform(0, 20_000.0)
 
     # ------------------------------------------------------------------
     # Crash / restart (repro.faults apps site)
@@ -248,22 +290,43 @@ class TopoScenario:
         sim = self.fabric.sim
         self._run(sim.now + (measure["warmup_us"] * US
                              if warmup is None else warmup))
-        windows = {name: MeasurementWindow(endpoint, endpoint.io_arch)
-                   for name, endpoint in self.fabric.endpoints.items()}
+        self.open_windows()
         self._run(sim.now + (measure["duration_us"] * US
                              if duration is None else duration))
-        results: Dict[str, Measurement] = {}
-        report = None
-        for name, window in windows.items():
-            measurement = window.finish()
-            measurement.extras.update(
-                _arch_extras(self.fabric.endpoints[name].io_arch))
-            results[name] = measurement
+        results = self.finish_measurements()
         if self.reconciler is not None:
             report = self.reconciler.check(now=sim.now)
             for measurement in results.values():
                 measurement.audit = report.to_dict()
             record_report(report)
+        return results
+
+    # -- phase hooks (the sharded coordinator drives these directly,
+    # with conservative barrier windows replacing the _run calls) -------
+    def measure_horizons(self) -> tuple:
+        """(warmup end, measurement end) in absolute ns from t=0."""
+        measure = self.normal["measure"]
+        t_warm = measure["warmup_us"] * US
+        return t_warm, t_warm + measure["duration_us"] * US
+
+    def open_windows(self) -> None:
+        """Open one MeasurementWindow per (local) server host. Reads
+        counters only; never schedules events or consumes sequence
+        numbers, so shards may call it between barrier windows."""
+        self._windows = {
+            name: MeasurementWindow(endpoint, endpoint.io_arch)
+            for name, endpoint in self.fabric.endpoints.items()}
+
+    def finish_measurements(self) -> Dict[str, Measurement]:
+        """Close the open windows and compute per-host metrics (audit
+        report not yet attached — the single-kernel path attaches its
+        local report, the shard coordinator the merged one)."""
+        results: Dict[str, Measurement] = {}
+        for name, window in self._windows.items():
+            measurement = window.finish()
+            measurement.extras.update(
+                _arch_extras(self.fabric.endpoints[name].io_arch))
+            results[name] = measurement
         return results
 
     def _run(self, until: float) -> None:
@@ -301,6 +364,10 @@ def _arch_extras(arch) -> Dict[str, float]:
     return extras
 
 
-def compile_scenario(spec: Mapping[str, Any]) -> TopoScenario:
-    """Validate + compile ``spec`` (built, ready to ``run_measure()``)."""
-    return TopoScenario(spec).build()
+def compile_scenario(spec: Mapping[str, Any],
+                     scope: Optional[Any] = None) -> TopoScenario:
+    """Validate + compile ``spec`` (built, ready to ``run_measure()``).
+
+    ``scope`` (a set of switch names) compiles a shard-local replica —
+    see :mod:`repro.shard`."""
+    return TopoScenario(spec, scope=scope).build()

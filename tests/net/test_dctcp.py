@@ -159,5 +159,14 @@ def test_first_send_time_survives_retransmit():
     pkt = h.sent[0]
     t0 = pkt.first_send_time
     h.sim.run(until=5000)  # RTO retransmits
-    assert pkt.first_send_time == t0
-    assert pkt.send_time > t0
+    # The retransmission is a clone: the original copy (possibly still
+    # traversing the network) stays frozen, the new copy keeps the
+    # original first_send_time but carries its own send_time.
+    assert len(h.sent) > 1
+    retx = h.sent[-1]
+    assert retx is not pkt
+    assert retx.seq == pkt.seq
+    assert retx.retransmitted and not pkt.retransmitted
+    assert retx.first_send_time == t0
+    assert retx.send_time > t0
+    assert pkt.first_send_time == t0 and pkt.send_time == t0

@@ -1,0 +1,68 @@
+"""Process-mode shard pool: runlog heartbeats and failure attribution.
+
+Satellite contract: a wedged or dead shard must be attributable in
+``runlog.jsonl`` by shard index (heartbeat/stall/failed events), not
+surface as an opaque timeout of the whole run.
+"""
+
+import json
+
+import pytest
+
+from repro.runner.shardpool import ShardPoolConfig
+from repro.scenario.templates import template
+from repro.shard import run_sharded
+
+
+def _events(path):
+    with open(path, encoding="utf-8") as fh:
+        return [json.loads(line) for line in fh]
+
+
+def _quick_spec():
+    spec = template("all-to-all-storage")
+    spec["measure"] = {"warmup_us": 20.0, "duration_us": 30.0}
+    return spec
+
+
+def test_runlog_heartbeats_attribute_each_shard(tmp_path):
+    log = tmp_path / "runlog.jsonl"
+    cfg = ShardPoolConfig(heartbeat_s=0.0, stall_s=0.0, runlog=str(log))
+    run_sharded(_quick_spec(), 2, mode="process", pool_config=cfg)
+    records = _events(log)
+    kinds = {r["event"] for r in records}
+    assert {"shard_pool_start", "shard_ready", "shard_heartbeat",
+            "shard_stall", "shard_resume", "shard_done",
+            "shard_pool_done"} <= kinds
+
+    start = next(r for r in records if r["event"] == "shard_pool_start")
+    assert start["shards"] == 2
+    assert start["plan"]["cut_links"]
+
+    beats = [r for r in records if r["event"] == "shard_heartbeat"]
+    assert {b["shard"] for b in beats} == {0, 1}
+    for beat in beats:
+        assert "ts" in beat and "sim_now_ns" in beat
+        assert beat["events_executed"] >= 0
+
+    # Heartbeats are cumulative per shard: a flatlining shard is visible.
+    last = {}
+    for beat in beats:
+        previous = last.get(beat["shard"], -1)
+        assert beat["events_executed"] >= previous
+        last[beat["shard"]] = beat["events_executed"]
+
+    done = next(r for r in records if r["event"] == "shard_pool_done")
+    assert len(done["events_executed"]) == 2
+    assert all(count > 0 for count in done["events_executed"])
+
+
+def test_timeout_failure_names_the_shard(tmp_path):
+    log = tmp_path / "runlog.jsonl"
+    cfg = ShardPoolConfig(timeout_s=0.0, runlog=str(log))
+    with pytest.raises(RuntimeError, match=r"shard 0 failed"):
+        run_sharded(_quick_spec(), 2, mode="process", pool_config=cfg)
+    records = _events(log)
+    failed = [r for r in records if r["event"] == "shard_failed"]
+    assert failed and failed[0]["shard"] == 0
+    assert "timeout" in failed[0]["error"]

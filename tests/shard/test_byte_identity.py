@@ -1,0 +1,82 @@
+"""Golden byte-identity: sharded runs equal the single kernel's, to the
+byte, at fixed seed (the correctness gate of docs/SHARDING.md).
+
+``all-to-all-storage`` (2x2 leaf-spine) genuinely splits into 2 and 4
+kernels with cross-shard traffic on every spine hop; ``incast-32`` is
+single-switch, so any shard count degenerates to one cell and must
+reproduce the plain run trivially.
+"""
+
+import json
+
+import pytest
+
+from repro.scenario.templates import template
+from repro.shard import run_sharded
+from repro.workloads.topo_scenario import TopoScenario
+
+
+def _payload(results):
+    return json.dumps(results, sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def all_to_all_single():
+    return _payload(TopoScenario(template("all-to-all-storage")).run())
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_all_to_all_sharded_is_byte_identical(all_to_all_single, shards):
+    stats = {}
+    sharded = run_sharded(template("all-to-all-storage"), shards,
+                          stats=stats)
+    assert _payload(sharded) == all_to_all_single
+    if shards > 1:
+        assert stats["plan"]["shards"] == min(shards, 4)
+        assert stats["rounds"] > 0
+        assert all(n > 0 for n in stats["events"])
+
+
+def test_all_to_all_process_mode_is_byte_identical(all_to_all_single):
+    sharded = run_sharded(template("all-to-all-storage"), 2,
+                          mode="process")
+    assert _payload(sharded) == all_to_all_single
+
+
+def test_incast_degenerates_to_the_plain_run():
+    stats = {}
+    sharded = run_sharded(template("incast-32"), 4, stats=stats)
+    single = TopoScenario(template("incast-32")).run()
+    assert _payload(sharded) == _payload(single)
+    assert stats["plan"]["shards"] == 1
+    assert stats["plan"]["cut_links"] == []
+
+
+def test_sharded_audit_merge_matches_single_kernel():
+    spec = template("all-to-all-storage")
+    single = TopoScenario(spec).run()
+    sharded = run_sharded(spec, 4)
+    for host, metrics in single.items():
+        audit = sharded[host]["audit"]
+        assert audit == metrics["audit"]
+        assert audit["ok"] is True
+        assert audit["violations"] == []
+        # Every account exactly once: locals plus merged cut wires.
+        assert audit["checked"] == metrics["audit"]["checked"]
+
+
+def test_invalid_mode_and_shard_count_rejected():
+    spec = template("incast-32")
+    with pytest.raises(ValueError):
+        run_sharded(spec, 0)
+    with pytest.raises(ValueError):
+        run_sharded(spec, 2, mode="threads")
+
+
+def test_fault_plans_rejected_under_sharding():
+    spec = template("all-to-all-storage")
+    spec["fault_plan"] = [{"site": "net.link", "kind": "loss",
+                           "start": 450_000.0, "duration": 1000.0,
+                           "host": "l0s0"}]
+    with pytest.raises(ValueError, match="fault plans"):
+        run_sharded(spec, 2)

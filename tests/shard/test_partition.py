@@ -1,0 +1,97 @@
+"""Partitioner properties and the lookahead contract (docs/SHARDING.md).
+
+The partition must be a pure function of ``(topology, shards)``, keep
+every host with its attachment switch, cut only switch-switch links,
+and refuse any cut whose lookahead would be zero.
+"""
+
+import pytest
+
+from repro.topo import leaf_spine, partition, star
+from repro.topo.builders import fat_tree
+
+
+def test_partition_is_deterministic():
+    for shards in (2, 3, 4):
+        a = partition(leaf_spine(4, 2, 4), shards)
+        b = partition(leaf_spine(4, 2, 4), shards)
+        assert a == b
+
+
+def test_every_switch_in_exactly_one_cell():
+    topo = leaf_spine(4, 2, 4)
+    plan = partition(topo, 3)
+    seen = [sw for cell in plan.cells for sw in cell]
+    assert sorted(seen) == sorted(topo.switches)
+    assert len(seen) == len(set(seen))
+
+
+def test_every_host_follows_its_attachment_switch():
+    topo = fat_tree(4, hosts_per_edge=2)
+    plan = partition(topo, 4)
+    assert sorted(plan.shard_of_host) == sorted(topo.hosts)
+    for host in topo.hosts:
+        attach, _link = topo.attachment(host)
+        assert plan.shard_of_host[host] == plan.shard_of_switch[attach]
+
+
+def test_cut_links_join_switches_only():
+    topo = leaf_spine(4, 2, 4)
+    plan = partition(topo, 4)
+    assert plan.cut_links  # a 4-way split of 6 switches must cut
+    switches = set(topo.switches)
+    for link in plan.cut_links:
+        assert link.a in switches and link.b in switches
+
+
+def test_cells_are_connected_subgraphs():
+    topo = fat_tree(4, hosts_per_edge=1)
+    for shards in (2, 3, 4, 5):
+        plan = partition(topo, shards)
+        for cell in plan.cells:
+            members = set(cell)
+            frontier = {cell[0]}
+            reached = set()
+            while frontier:
+                sw = frontier.pop()
+                reached.add(sw)
+                frontier.update(n for n in topo.switch_neighbors(sw)
+                                if n in members and n not in reached)
+            assert reached == members
+
+
+def test_shard_count_clamps_to_switch_count():
+    assert partition(star(8), 8).n_shards == 1
+    assert partition(leaf_spine(2, 2, 4), 16).n_shards == 4
+
+
+def test_single_switch_topology_is_one_cell_with_infinite_lookahead():
+    plan = partition(star(4), 4)
+    assert plan.cells == (("tor",),)
+    assert plan.cut_links == ()
+    assert plan.lookahead == float("inf")
+
+
+def test_lookahead_is_the_minimum_cut_delay():
+    plan = partition(leaf_spine(2, 2, 4, delay=600.0), 2)
+    assert plan.lookahead == 600.0
+
+
+def test_invalid_shard_count_rejected():
+    with pytest.raises(ValueError):
+        partition(star(2), 0)
+
+
+def test_zero_delay_switch_link_rejected_at_validation():
+    # Satellite fix: the topology itself refuses a degenerate-lookahead
+    # inter-switch link, path-addressed like a scenario error.
+    with pytest.raises(ValueError, match=r"topology\.links\["):
+        leaf_spine(2, 1, 2, delay=0.0)
+
+
+def test_zero_reverse_delay_cut_rejected_by_partition():
+    topo = leaf_spine(2, 1, 2, ack_delay=0.0)  # forward delay is fine
+    with pytest.raises(ValueError, match="zero-delay"):
+        partition(topo, 2)
+    with pytest.raises(ValueError, match="ack_delay"):
+        topo.lookahead()
