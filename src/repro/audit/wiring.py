@@ -24,7 +24,16 @@ guarantees at every return.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Union
+
 from .ledger import Ledger
+
+if TYPE_CHECKING:
+    from ..hw.cache import FullyAssociativeLLC, SetAssociativeLLC
+    from ..hw.host import Host
+    from ..hw.nic import Nic
+    from ..io_arch.base import IOArchitecture
+    from ..net.link import SwitchPort
 
 __all__ = ["build_ledger", "build_fabric_ledger", "register_host_accounts"]
 
@@ -45,7 +54,8 @@ class _PrefixedLedger:
         return self._ledger.account(self._prefix + name, unit, **kwargs)
 
 
-def _register_network(ledger: Ledger, port, nic) -> None:
+def _register_network(ledger: Union[Ledger, _PrefixedLedger],
+                      port: SwitchPort, nic: Nic) -> None:
     """Switch port and wire: offered packets are dropped, queued, in
     flight, or received by the NIC."""
     swport = ledger.account("net.port", "packets", barrier_safe=True)
@@ -61,7 +71,8 @@ def _register_network(ledger: Ledger, port, nic) -> None:
     wire.credit("nic_received", nic.rx_packets)
 
 
-def _register_nic(ledger: Ledger, nic, arch) -> None:
+def _register_nic(ledger: Union[Ledger, _PrefixedLedger], nic: Nic,
+                  arch: IOArchitecture) -> None:
     """MAC buffer and firmware handler: every received packet is MAC-
     dropped, handled, or still buffered; every handled packet was
     categorised by the architecture exactly once."""
@@ -85,7 +96,8 @@ def _register_nic(ledger: Ledger, nic, arch) -> None:
     handler.slack("handler_inflight", (nic, "handler_inflight"))
 
 
-def _register_dma_path(ledger: Ledger, host) -> None:
+def _register_dma_path(ledger: Union[Ledger, _PrefixedLedger],
+                       host: Host) -> None:
     """DMA engine -> PCIe -> IIO -> memory controller."""
     dma = host.nic.dma
     engine = ledger.account("dma.engine", "packets", barrier_safe=True)
@@ -118,7 +130,9 @@ def _register_dma_path(ledger: Ledger, host) -> None:
     nicmem.credit("used", (host.nic.memory, "used"))
 
 
-def _register_llc(ledger: Ledger, llc) -> None:
+def _register_llc(ledger: Union[Ledger, _PrefixedLedger],
+                  llc: Union[FullyAssociativeLLC, SetAssociativeLLC]
+                  ) -> None:
     """Cache residency conservation plus the DDIO capacity invariant, per
     cache model (byte-granularity for the fully-associative LRU, exact
     line-granularity for the set-associative model)."""
@@ -157,7 +171,9 @@ def _register_llc(ledger: Ledger, llc) -> None:
         ways.slack("ddio_ways", (llc, "ddio_ways"))
 
 
-def register_host_accounts(ledger, port, host, arch) -> None:
+def register_host_accounts(ledger: Union[Ledger, _PrefixedLedger],
+                           port: SwitchPort, host: Host,
+                           arch: IOArchitecture) -> None:
     """Register the standard per-host account set (network, NIC, DMA
     path, LLC, plus the architecture's own equations) on ``ledger`` —
     which may be a :class:`_PrefixedLedger` view for multi-host fabrics.

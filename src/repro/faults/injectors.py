@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional, Tuple
 
 from ..sim.stats import Counter
+from .plan import FaultSpec
 
 __all__ = ["FaultController", "install_plan"]
 
@@ -127,7 +128,8 @@ def install_plan(testbed, plan, scenario=None) -> Optional[FaultController]:
 # ----------------------------------------------------------------------
 # net.link — packet loss / burst loss / corruption at the switch egress
 # ----------------------------------------------------------------------
-def _link_verdict(controller: FaultController, spec, index: int,
+def _link_verdict(controller: FaultController, spec: FaultSpec,
+                  index: int,
                   drop_kind: str):
     rng = controller.stream(spec, index)
     flow_name = spec.flow
@@ -142,13 +144,15 @@ def _link_verdict(controller: FaultController, spec, index: int,
 
 
 @_handler("net.link", "loss")
-def _link_loss(controller, spec, index):
+def _link_loss(controller: FaultController, spec: FaultSpec,
+               index: int):
     return _chain_hook(controller.testbed.port, "fault",
                        _link_verdict(controller, spec, index, "loss"))
 
 
 @_handler("net.link", "corrupt")
-def _link_corrupt(controller, spec, index):
+def _link_corrupt(controller: FaultController, spec: FaultSpec,
+                  index: int):
     # A corrupted frame fails its FCS and is dropped at the egress — same
     # observable effect as loss, but attributed distinctly in traces.
     return _chain_hook(controller.testbed.port, "fault",
@@ -156,7 +160,8 @@ def _link_corrupt(controller, spec, index):
 
 
 @_handler("net.link", "burst_loss")
-def _link_burst_loss(controller, spec, index):
+def _link_burst_loss(controller: FaultController, spec: FaultSpec,
+                     index: int):
     """Gilbert–Elliott two-state loss: rare transitions into a bad state
     where loss probability jumps to ``magnitude`` (defaults: p(G->B)=0.05,
     p(B->G)=0.2, good-state loss 0)."""
@@ -186,7 +191,8 @@ def _link_burst_loss(controller, spec, index):
 # hw.pcie — link retrain: stall windows and latency spikes
 # ----------------------------------------------------------------------
 @_handler("hw.pcie", "stall")
-def _pcie_stall(controller, spec, index):
+def _pcie_stall(controller: FaultController, spec: FaultSpec,
+                index: int):
     """Collapse wire bandwidth to ``magnitude`` of nominal (0 = full stall,
     clamped to a crawl so token accounting stays finite)."""
     pcie = controller.testbed.host.pcie
@@ -203,7 +209,8 @@ def _pcie_stall(controller, spec, index):
 
 
 @_handler("hw.pcie", "latency")
-def _pcie_latency(controller, spec, index):
+def _pcie_latency(controller: FaultController, spec: FaultSpec,
+                  index: int):
     """Add ``magnitude`` ns to every transaction's in-flight latency.
     Additive so overlapping windows compose and restore exactly."""
     pcie = controller.testbed.host.pcie
@@ -222,7 +229,8 @@ def _pcie_latency(controller, spec, index):
 # hw.nic — DMA-engine stalls and descriptor drops
 # ----------------------------------------------------------------------
 @_handler("hw.nic", "dma_stall")
-def _nic_dma_stall(controller, spec, index):
+def _nic_dma_stall(controller: FaultController, spec: FaultSpec,
+                   index: int):
     dma = controller.testbed.host.nic.dma
     sim = controller.sim
     if not spec.finite:
@@ -238,7 +246,8 @@ def _nic_dma_stall(controller, spec, index):
 
 
 @_handler("hw.nic", "descriptor_drop")
-def _nic_descriptor_drop(controller, spec, index):
+def _nic_descriptor_drop(controller: FaultController, spec: FaultSpec,
+                         index: int):
     """Silently lose DMA writes with probability ``magnitude`` — the
     credit-loss scenario: CEIO consumes the credit and counts the packet
     issued, but delivery never happens."""
@@ -264,7 +273,8 @@ def _nic_descriptor_drop(controller, spec, index):
 # hw.cache — runtime DDIO reconfiguration
 # ----------------------------------------------------------------------
 @_handler("hw.cache", "ddio_reconfig")
-def _cache_ddio_reconfig(controller, spec, index):
+def _cache_ddio_reconfig(controller: FaultController, spec: FaultSpec,
+                         index: int):
     """Shrink the DDIO partition to ``magnitude`` of nominal (capacity for
     the fully-associative model, ways for the set-associative one),
     evicting whatever no longer fits; restore on window close."""
@@ -294,7 +304,8 @@ def _cache_ddio_reconfig(controller, spec, index):
 # hw.cpu — core preemption / slowdown windows
 # ----------------------------------------------------------------------
 @_handler("hw.cpu", "slowdown")
-def _cpu_slowdown(controller, spec, index):
+def _cpu_slowdown(controller: FaultController, spec: FaultSpec,
+                  index: int):
     """Multiply execution time on the targeted core (param ``core``; all
     cores when absent) by ``magnitude`` — e.g. 4.0 models a core losing
     3/4 of its cycles to a preempting tenant."""
@@ -320,7 +331,8 @@ def _cpu_slowdown(controller, spec, index):
 # apps — crash/restart of a worker
 # ----------------------------------------------------------------------
 @_handler("apps", "crash_restart")
-def _apps_crash_restart(controller, spec, index):
+def _apps_crash_restart(controller: FaultController, spec: FaultSpec,
+                        index: int):
     """Kill one CPU-involved worker at onset (its flow is unregistered —
     the quiesce path) and restart it under the same name when the window
     closes. Param ``worker`` picks the victim by position (default 0);

@@ -93,7 +93,7 @@ class ShringArch(IOArchitecture):
         rx = super().register_flow(flow)
         if flow.flow_id not in self._guard_streams:
             ordinal = len(self._guard_streams)
-            self._guard_streams[flow.flow_id] = self._guard_rng.stream(
+            self._guard_streams[flow.flow_id] = self._guard_rng.stream(  # repro: noqa=D109 -- per-flow guard streams; name derives from the deterministic registration ordinal
                 f"shring.guard.{ordinal}")
         return rx
 

@@ -11,7 +11,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from . import rules  # noqa: F401  (registers the rule classes)
 from .config import DEFAULT_CONFIG
@@ -25,7 +25,8 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
         description="Determinism & sim-correctness static analysis "
-                    "(rules D101-D106).")
+                    "(per-file rules D101-D106 plus whole-program "
+                    "rules D107-D111).")
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
     parser.add_argument("--format", choices=("text", "json"),
@@ -33,6 +34,13 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--select", metavar="CODES",
                         help="comma-separated rule codes to run "
                              "(default: all)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run the per-file pass in N worker processes "
+                             "(the whole-program pass always runs in this "
+                             "process; default: 1)")
+    parser.add_argument("--timing", action="store_true",
+                        help="report per-rule analysis wall-clock on "
+                             "stderr")
     parser.add_argument("--baseline", metavar="PATH", default=None,
                         help="baseline file (default: "
                              f"{DEFAULT_CONFIG.baseline_name} if present)")
@@ -44,6 +52,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--strict-baseline", action="store_true",
                         help="also fail when baseline entries are stale "
                              "(match no current finding)")
+    parser.add_argument("--prune-baseline", action="store_true",
+                        help="rewrite the baseline keeping only entries "
+                             "that still match a finding (drops stale "
+                             "ones), then report as usual")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
     return parser
@@ -81,7 +93,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                   file=sys.stderr)
             return 2
 
-    findings = lint_paths(args.paths, DEFAULT_CONFIG, select)
+    if args.jobs < 1:
+        print("repro.lint: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.prune_baseline and (args.no_baseline or args.update_baseline):
+        print("repro.lint: --prune-baseline conflicts with "
+              "--no-baseline/--update-baseline", file=sys.stderr)
+        return 2
+
+    timings: Optional[Dict[str, float]] = {} if args.timing else None
+    findings = lint_paths(args.paths, DEFAULT_CONFIG, select,
+                          jobs=args.jobs, timings=timings)
+    if args.timing and timings:
+        total = sum(timings.values())
+        for name in sorted(timings, key=lambda n: (-timings[n], n)):
+            print(f"repro.lint: timing {name:>13s} "
+                  f"{timings[name] * 1000.0:9.1f} ms", file=sys.stderr)
+        print(f"repro.lint: timing {'total':>13s} {total * 1000.0:9.1f} ms",
+              file=sys.stderr)
 
     baseline_path = Path(args.baseline or DEFAULT_CONFIG.baseline_name)
     if args.update_baseline:
@@ -95,6 +124,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         new, accepted, stale = baseline.split(findings)
     else:
         new, accepted, stale = list(findings), [], 0
+
+    if args.prune_baseline and baseline is not None:
+        Baseline.save(baseline_path, accepted)
+        print(f"repro.lint: pruned {stale} stale baseline entr"
+              + ("y" if stale == 1 else "ies")
+              + f", kept {len(accepted)} in {baseline_path}",
+              file=sys.stderr)
+        stale = 0
+    elif stale and baseline is not None and args.format == "text":
+        for key in baseline.stale_keys(findings):
+            print(f"repro.lint: stale baseline entry: {key[0]}: "
+                  f"{key[1]} {key[2]}", file=sys.stderr)
 
     if args.format == "json":
         print(json.dumps({

@@ -52,6 +52,44 @@ class LintConfig:
     #: Default baseline filename, resolved against the working directory.
     baseline_name: str = ".repro-lint-baseline.json"
 
+    # -- whole-program rule family (D107-D111) ---------------------------
+    #: Modules implementing the cross-shard channel protocol. D107's
+    #: structural checks (post_keyed/reserve_key placement, _wire_send
+    #: installation) apply to these packages.
+    shard_modules: Tuple[str, ...] = ("repro.topo", "repro.shard",
+                                      "repro.sim")
+    #: Methods allowed to call ``post_keyed`` (channel receivers: the
+    #: only code that may schedule onto a foreign domain).
+    channel_receivers: Tuple[str, ...] = ("inject_packet", "inject_ack")
+    #: Functions allowed to install cross-shard emitters (assign to a
+    #: ``_wire_send`` / outbox seam), directly or via helpers they call.
+    channel_installers: Tuple[str, ...] = ("attach_channels",)
+    #: The architecture base class every concrete arch must extend and
+    #: whose audit hook it must wire up.
+    arch_base: str = "repro.io_arch.base.IOArchitecture"
+    #: Name of the audit hook method on architectures.
+    audit_hook: str = "audit_register"
+    #: The standard account trio every arch's audit hook must register
+    #: when it does not defer to the base implementation via super().
+    standard_accounts: Tuple[str, ...] = ("arch.delivery", "arch.app_rings",
+                                          "arch.descriptors")
+    #: The audit wiring module whose sources D108 resolves.
+    audit_wiring_module: str = "repro.audit.wiring"
+    #: Functions allowed to build dynamic RNG stream names (D109): the
+    #: host-prefix helper and the fault controller's per-spec streams.
+    stream_helpers: Tuple[str, ...] = (
+        "repro.topo.fabric.HostRng.stream",
+        "repro.faults.injectors.FaultController.stream",
+    )
+    #: Module holding the fault-site registry literal (D110).
+    fault_plan_module: str = "repro.faults.plan"
+    #: Module holding the ``@_handler(site, kind)`` implementations.
+    fault_injector_module: str = "repro.faults.injectors"
+    #: Documentation page whose site table must match the registry,
+    #: relative to the repository root (located by walking up from the
+    #: fault plan module's source file).
+    fault_docs_page: str = "docs/FAULTS.md"
+
     def is_repro(self, package: str) -> bool:
         return package == "repro" or package.startswith("repro.")
 
@@ -62,6 +100,10 @@ class LintConfig:
     def is_wallclock_exempt(self, package: str) -> bool:
         return any(package == p or package.startswith(p + ".")
                    for p in self.wallclock_exempt)
+
+    def is_shard_module(self, package: str) -> bool:
+        return any(package == p or package.startswith(p + ".")
+                   for p in self.shard_modules)
 
 
 DEFAULT_CONFIG = LintConfig()

@@ -9,14 +9,22 @@ computed "touches the engine's scheduling API" flag.
 Findings flow through two filters before they reach the report: inline
 ``# repro: noqa=DXXX`` suppressions (:mod:`repro.lint.suppress`) and the
 committed baseline file.
+
+Rules come in two *scopes*. ``scope = "file"`` rules (D101–D106) see one
+:class:`ModuleInfo` at a time and also run under :func:`lint_source`.
+``scope = "project"`` rules (D107–D111) run only in :func:`lint_paths`,
+after every file has been parsed, against the resolved
+:class:`~repro.lint.project.Project` view — which is exactly why a
+single-file invocation provably cannot reproduce their findings.
 """
 
 from __future__ import annotations
 
 import ast
+import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Type
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Type
 
 from .config import DEFAULT_CONFIG, LintConfig
 from .suppress import parse_noqa
@@ -62,10 +70,18 @@ def register(cls: Type["Rule"]) -> Type["Rule"]:
 
 
 class Rule:
-    """Base class for lint rules."""
+    """Base class for lint rules.
+
+    File-scope rules implement :meth:`check`; project-scope rules set
+    ``scope = "project"`` and implement :meth:`check_project` instead.
+    """
 
     code: str = ""
     summary: str = ""
+    #: "file" rules run per module (and under ``lint_source``);
+    #: "project" rules run once per ``lint_paths`` invocation against
+    #: the whole-program view.
+    scope: str = "file"
 
     def __init__(self, config: LintConfig):
         self.config = config
@@ -74,6 +90,9 @@ class Rule:
         return True
 
     def check(self, module: "ModuleInfo") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def check_project(self, project) -> Iterator[Finding]:
         raise NotImplementedError
 
 
@@ -182,12 +201,16 @@ def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
 
 
 def _instantiate_rules(config: LintConfig,
-                       select: Optional[Iterable[str]] = None) -> List[Rule]:
+                       select: Optional[Iterable[str]] = None,
+                       scope: Optional[str] = None) -> List[Rule]:
     codes = set(select) if select else None
     rules = []
     for code, cls in sorted(RULES.items()):
-        if codes is None or code in codes:
-            rules.append(cls(config))
+        if codes is not None and code not in codes:
+            continue
+        if scope is not None and cls.scope != scope:
+            continue
+        rules.append(cls(config))
     return rules
 
 
@@ -195,16 +218,18 @@ def lint_source(path: str, source: str,
                 config: LintConfig = DEFAULT_CONFIG,
                 select: Optional[Iterable[str]] = None,
                 package: Optional[str] = None) -> List[Finding]:
-    """Lint one in-memory source blob; returns suppression-filtered,
-    sorted findings. ``package`` overrides dotted-name derivation (used
-    by rule unit tests to place fixtures in arbitrary packages)."""
+    """Lint one in-memory source blob with the **file-scope** rules;
+    returns suppression-filtered, sorted findings. Project-scope rules
+    need the whole-program view and only run under :func:`lint_paths`.
+    ``package`` overrides dotted-name derivation (used by rule unit
+    tests to place fixtures in arbitrary packages)."""
     try:
         module = ModuleInfo(path, source, config, package=package)
     except SyntaxError as exc:
         return [Finding(path, exc.lineno or 0, (exc.offset or 0) or 1,
                         "E999", f"syntax error: {exc.msg}")]
     findings: List[Finding] = []
-    for rule in _instantiate_rules(config, select):
+    for rule in _instantiate_rules(config, select, scope="file"):
         if not rule.applies(module):
             continue
         for f in rule.check(module):
@@ -214,11 +239,56 @@ def lint_source(path: str, source: str,
     return sorted(findings)
 
 
+def _check_module(module: ModuleInfo, rules: List[Rule],
+                  timings: Optional[Dict[str, float]]) -> List[Finding]:
+    findings: List[Finding] = []
+    for rule in rules:
+        if not rule.applies(module):
+            continue
+        t0 = time.perf_counter()
+        for f in rule.check(module):
+            if not module.noqa.suppresses(f.line, f.code):
+                findings.append(f)
+        if timings is not None:
+            timings[rule.code] = (timings.get(rule.code, 0.0)
+                                  + time.perf_counter() - t0)
+    return findings
+
+
+def _lint_file_worker(item: Tuple[str, str, Optional[Tuple[str, ...]]]
+                      ) -> Tuple[List[Finding], Dict[str, float]]:
+    """``--jobs`` worker: file-scope pass over one already-read source.
+
+    Runs in a subprocess, so rules must be registered here and only the
+    default config is supported (the CLI never builds another one).
+    """
+    path, source, select = item
+    from . import rules  # noqa: F401  (registers rule classes in the worker)
+    timings: Dict[str, float] = {}
+    try:
+        module = ModuleInfo(path, source, DEFAULT_CONFIG)
+    except SyntaxError as exc:
+        return ([Finding(path, exc.lineno or 0, (exc.offset or 0) or 1,
+                         "E999", f"syntax error: {exc.msg}")], timings)
+    file_rules = _instantiate_rules(DEFAULT_CONFIG, select, scope="file")
+    return _check_module(module, file_rules, timings), timings
+
+
 def lint_paths(paths: Iterable[str],
                config: LintConfig = DEFAULT_CONFIG,
-               select: Optional[Iterable[str]] = None) -> List[Finding]:
-    """Lint files/directories; returns sorted findings (pre-baseline)."""
+               select: Optional[Iterable[str]] = None,
+               jobs: int = 1,
+               timings: Optional[Dict[str, float]] = None) -> List[Finding]:
+    """Lint files/directories; returns sorted findings (pre-baseline).
+
+    Runs the per-file pass (in ``jobs`` worker processes when > 1), then
+    builds the whole-program :class:`~repro.lint.project.Project` over
+    every successfully parsed module and runs the project-scope rules in
+    this process. ``timings``, when given, receives cumulative per-rule
+    wall-clock seconds plus a ``"project-build"`` entry.
+    """
     findings: List[Finding] = []
+    modules: List[ModuleInfo] = []
     for file in iter_python_files(paths):
         try:
             source = file.read_text(encoding="utf-8")
@@ -226,5 +296,45 @@ def lint_paths(paths: Iterable[str],
             findings.append(Finding(str(file), 0, 1, "E902",
                                     f"cannot read file: {exc}"))
             continue
-        findings.extend(lint_source(str(file), source, config, select))
+        try:
+            modules.append(ModuleInfo(str(file), source, config))
+        except SyntaxError as exc:
+            findings.append(Finding(str(file), exc.lineno or 0,
+                                    (exc.offset or 0) or 1, "E999",
+                                    f"syntax error: {exc.msg}"))
+
+    select_t = tuple(select) if select is not None else None
+    if jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+        items = [(m.path, m.source, select_t) for m in modules]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for file_findings, file_timings in pool.map(
+                    _lint_file_worker, items):
+                findings.extend(file_findings)
+                if timings is not None:
+                    for code, secs in file_timings.items():
+                        timings[code] = timings.get(code, 0.0) + secs
+    else:
+        file_rules = _instantiate_rules(config, select, scope="file")
+        for module in modules:
+            findings.extend(_check_module(module, file_rules, timings))
+
+    project_rules = _instantiate_rules(config, select, scope="project")
+    if project_rules:
+        from .project import Project
+        t0 = time.perf_counter()
+        project = Project(modules)
+        if timings is not None:
+            timings["project-build"] = time.perf_counter() - t0
+        for rule in project_rules:
+            t0 = time.perf_counter()
+            for f in rule.check_project(project):
+                owner = project.modules_by_path.get(f.path)
+                if owner is not None and \
+                        owner.noqa.suppresses(f.line, f.code):
+                    continue
+                findings.append(f)
+            if timings is not None:
+                timings[rule.code] = (timings.get(rule.code, 0.0)
+                                      + time.perf_counter() - t0)
     return sorted(findings)

@@ -1,0 +1,114 @@
+"""Shared nondeterminism detectors, reused by D102/D103 and D111.
+
+The per-file rules (:mod:`.rules.wallclock`, :mod:`.rules.ordering`)
+flag these constructs with rule-specific messages; the interprocedural
+taint rule (D111) needs the same *detection* applied to every module —
+including ones outside the sim-side scope — to mark call-graph nodes as
+tainted. Each detector yields ``(node, description)`` pairs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Set, Tuple
+
+from .core import ModuleInfo, attr_chain
+
+__all__ = ["wallclock_calls", "os_random_calls", "unordered_iterations"]
+
+#: Fully-qualified callables that read OS entropy: their results differ
+#: on every run regardless of seeding. ``random.*`` is deliberately
+#: absent — D101 owns it throughout the repro package.
+_OS_RANDOM_CALLS = frozenset({
+    "os.urandom", "os.getrandom", "uuid.uuid1", "uuid.uuid4",
+})
+_OS_RANDOM_PREFIXES = ("secrets.",)
+
+
+def wallclock_calls(module: ModuleInfo) -> Iterator[Tuple[ast.Call, str]]:
+    """Calls reading the host clock, import-alias aware."""
+    # Imported lazily: rules.taint imports this module while the rules
+    # package itself is still initializing.
+    from .rules.wallclock import _DATETIME_FNS, _TIME_FNS
+    time_aliases: Set[str] = set()
+    datetime_mod_aliases: Set[str] = set()
+    datetime_cls_aliases: Set[str] = set()
+    from_time: Dict[str, str] = {}
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    time_aliases.add(alias.asname or "time")
+                elif alias.name == "datetime":
+                    datetime_mod_aliases.add(alias.asname or "datetime")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "time":
+                for alias in node.names:
+                    if alias.name in _TIME_FNS:
+                        from_time[alias.asname or alias.name] = alias.name
+            elif node.module == "datetime":
+                for alias in node.names:
+                    if alias.name in ("datetime", "date"):
+                        datetime_cls_aliases.add(alias.asname or alias.name)
+
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = attr_chain(node.func)
+        if chain is None:
+            continue
+        parts = chain.split(".")
+        root = parts[0]
+        if len(parts) == 2 and root in time_aliases and \
+                parts[1] in _TIME_FNS:
+            yield node, f"{chain}()"
+        elif len(parts) == 1 and root in from_time:
+            yield node, f"time.{from_time[root]}()"
+        elif len(parts) == 3 and root in datetime_mod_aliases and \
+                parts[1] in ("datetime", "date") and \
+                parts[2] in _DATETIME_FNS:
+            yield node, f"{chain}()"
+        elif len(parts) == 2 and root in datetime_cls_aliases and \
+                parts[1] in _DATETIME_FNS:
+            yield node, f"{chain}()"
+
+
+def os_random_calls(module: ModuleInfo) -> Iterator[Tuple[ast.Call, str]]:
+    """Calls drawing OS (or module-global, unseedable-per-run) entropy."""
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = attr_chain(node.func)
+        if chain is None:
+            continue
+        if chain in _OS_RANDOM_CALLS or \
+                any(chain.startswith(p) for p in _OS_RANDOM_PREFIXES):
+            yield node, f"{chain}()"
+
+
+def unordered_iterations(module: ModuleInfo
+                         ) -> Iterator[Tuple[ast.AST, str]]:
+    """Set iteration (direct or via ``list()``/``iter()`` laundering) —
+    the D103 detection, without its scheduling-module gate."""
+    from .rules.ordering import _is_set_literalish, _SetTypes
+    types = _SetTypes(module.tree)
+
+    def unordered(expr: ast.AST) -> bool:
+        if _is_set_literalish(expr) or types.is_set_valued(expr):
+            return True
+        if isinstance(expr, ast.Call) and \
+                isinstance(expr.func, ast.Name) and expr.args:
+            if expr.func.id == "sorted":
+                return False
+            if expr.func.id in ("list", "tuple", "iter", "enumerate",
+                               "reversed"):
+                return unordered(expr.args[0])
+        return False
+
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.For) and unordered(node.iter):
+            yield node.iter, "iteration over a set"
+        elif isinstance(node, (ast.ListComp, ast.DictComp)):
+            for gen in node.generators:
+                if unordered(gen.iter):
+                    yield gen.iter, "comprehension over a set"

@@ -5,3 +5,6 @@ from . import wallclock  # noqa: F401
 from . import ordering  # noqa: F401
 from . import engine_idioms  # noqa: F401
 from . import state  # noqa: F401
+from . import shard  # noqa: F401
+from . import registry  # noqa: F401
+from . import taint  # noqa: F401

@@ -1,0 +1,163 @@
+"""D107 — shard-domain discipline (whole-program).
+
+Sharded runs are byte-identical to the single kernel only because every
+cross-shard interaction rides the channel protocol (docs/SHARDING.md):
+the emitting shard consumes the exact calendar key the single-kernel run
+would (``reserve_key`` / the emitter's own ``call_later``), ships it,
+and the peer inserts the entry verbatim with ``post_keyed``. Three
+structural guarantees keep that true, and all three are cross-module
+properties of :mod:`repro.topo` / :mod:`repro.shard` / :mod:`repro.sim`:
+
+1. ``post_keyed`` — the only way to schedule under a foreign domain's
+   sequence number — may be called only from a channel receiver
+   (``inject_packet`` / ``inject_ack``) or a helper reachable *only*
+   from channel receivers. Anywhere else it is a race against the
+   domain owner's sequence counter.
+2. A ``reserve_key`` call consumes a local sequence number on behalf of
+   a peer; the function that reserves must also ship the key through a
+   channel emitter, or the key is burned and calendars diverge.
+3. Boundary-link emitters (assignments to a port's ``_wire_send`` seam)
+   may be installed only by ``attach_channels`` (or helpers it calls) —
+   the one entry point the shard kernel drives.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from ..core import Finding, Rule, attr_chain, register
+from ..project import FunctionInfo, Project
+
+__all__ = ["ShardDomainDiscipline"]
+
+
+def _last_segment(chain: str) -> str:
+    return chain.rsplit(".", 1)[-1]
+
+
+@register
+class ShardDomainDiscipline(Rule):
+    code = "D107"
+    summary = ("cross-shard scheduling must ride the channel protocol: "
+               "post_keyed only in channel receivers, reserve_key paired "
+               "with an emit, _wire_send installed via attach_channels")
+    scope = "project"
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        shard_fns = {
+            qual: fn for qual, fn in project.functions.items()
+            if self.config.is_shard_module(fn.module)
+        }
+        callers = self._reverse_edges(project, shard_fns)
+        approved: Dict[str, bool] = {}
+        installer_reach = self._installer_reach(project, shard_fns)
+
+        for qual in sorted(shard_fns):
+            fn = shard_fns[qual]
+            module = project.modules.get(fn.module)
+            if module is None:
+                continue
+            reserves: List[ast.Call] = []
+            emits = False
+            for node in Project._in_order(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                chain = attr_chain(node.func)
+                if chain is None:
+                    continue
+                name = _last_segment(chain)
+                if name == "post_keyed":
+                    if not self._receiver_approved(qual, callers, approved):
+                        yield module.finding(
+                            node, self.code,
+                            f"post_keyed() outside a channel receiver — "
+                            f"{fn.name} schedules under a foreign domain's "
+                            "sequence number; only "
+                            + "/".join(self.config.channel_receivers)
+                            + " (and their private helpers) may insert "
+                            "peer calendar keys")
+                elif name == "reserve_key":
+                    reserves.append(node)
+                elif "emit" in name.lower():
+                    emits = True
+            if reserves and not emits:
+                for node in reserves:
+                    yield module.finding(
+                        node, self.code,
+                        f"reserve_key() in {fn.name} consumes a calendar "
+                        "key on a peer's behalf but the function never "
+                        "ships it through a channel emitter — the "
+                        "sequence number is burned and sharded calendars "
+                        "diverge from the single kernel")
+
+        for qual in sorted(shard_fns):
+            fn = shard_fns[qual]
+            module = project.modules.get(fn.module)
+            if module is None:
+                continue
+            for node in Project._in_order(fn.node):
+                targets: List[ast.AST] = []
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                elif isinstance(node, ast.AnnAssign):
+                    targets = [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Attribute) and \
+                            target.attr == "_wire_send" and \
+                            qual not in installer_reach:
+                        yield module.finding(
+                            node, self.code,
+                            f"boundary emitter installed outside the "
+                            f"channel-installer path — {fn.name} assigns "
+                            "_wire_send but is not reachable from "
+                            + "/".join(self.config.channel_installers)
+                            + "; cut-link emission the shard kernel "
+                            "cannot drain breaks byte-identity")
+
+    # ------------------------------------------------------------------
+    def _reverse_edges(self, project: Project,
+                       shard_fns: Dict[str, FunctionInfo]
+                       ) -> Dict[str, Set[str]]:
+        """callee -> callers, restricted to shard-module functions; a
+        nested function's lexical parent counts as a caller (closures
+        are invoked through the value the parent handed out)."""
+        callers: Dict[str, Set[str]] = {}
+        for qual, fn in shard_fns.items():
+            for callee in fn.calls | fn.defines:
+                callers.setdefault(callee, set()).add(qual)
+        return callers
+
+    def _receiver_approved(self, qual: str,
+                           callers: Dict[str, Set[str]],
+                           memo: Dict[str, bool],
+                           visiting: Optional[Set[str]] = None) -> bool:
+        """A function may touch ``post_keyed`` iff it *is* a channel
+        receiver or every shard-module caller of it is approved (i.e. it
+        is a private helper of the receivers). Call cycles resolve
+        optimistically: a cycle is only enterable from outside, and those
+        entries are checked on their own."""
+        if qual in memo:
+            return memo[qual]
+        if visiting is None:
+            visiting = set()
+        if qual in visiting:
+            return True
+        visiting.add(qual)
+        name = qual.rsplit(".", 1)[-1]
+        if name in self.config.channel_receivers:
+            ok = True
+        else:
+            calling = callers.get(qual)
+            ok = bool(calling) and all(
+                self._receiver_approved(c, callers, memo, visiting)
+                for c in sorted(calling))
+        memo[qual] = ok
+        return ok
+
+    def _installer_reach(self, project: Project,
+                         shard_fns: Dict[str, FunctionInfo]) -> Set[str]:
+        roots = [qual for qual in shard_fns
+                 if qual.rsplit(".", 1)[-1]
+                 in self.config.channel_installers]
+        return project.reachable_from(sorted(roots))

@@ -1,0 +1,192 @@
+"""D111 — interprocedural wall-clock / nondeterminism taint.
+
+D102/D103 flag a nondeterministic construct *in the body* of a sim-side
+function. They are blind to the function that stays clean itself but
+calls a helper — often in a host-side module the per-file rules exempt —
+whose call graph reaches ``time.monotonic()``, ``os.urandom()``, or an
+unordered iteration. The result is the same: simulated behaviour coupled
+to the host, but the drift lives two modules away from the symptom.
+
+D111 closes that hole with the whole-program call graph. For each taint
+category it computes the set of functions whose closure (calls plus
+nested definitions) contains a tainted construct, then reports at the
+**boundary**: the call edge where a sim-side function hands control to a
+function outside the category's per-file enforcement scope. Constructs
+inside the enforcement scope stay the per-file rules' findings —
+interprocedural reporting never duplicates them, and callers of a
+function D111 already flags directly are not re-flagged (no cascades).
+OS-entropy draws (``os.urandom``/``uuid.uuid4``/``secrets``) have no
+per-file rule, so their direct sim-side occurrences are D111 findings
+too; ``random.*`` calls are D101's everywhere in the repro package and
+are deliberately not a taint source here.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, Iterator, Set, Tuple
+
+from .. import detect
+from ..core import Finding, ModuleInfo, Rule, register
+from ..project import Project
+
+__all__ = ["InterproceduralTaint"]
+
+
+class _Category:
+    __slots__ = ("name", "detector", "covered", "hint")
+
+    def __init__(self, name: str,
+                 detector: Callable[[ModuleInfo], Iterator[Tuple[ast.AST,
+                                                                 str]]],
+                 covered: Callable[["InterproceduralTaint", ModuleInfo],
+                                   bool],
+                 hint: str):
+        self.name = name
+        self.detector = detector
+        #: Whether a *direct* occurrence in the module is already a
+        #: per-file rule's finding (D102/D103) — D111 must not duplicate.
+        self.covered = covered
+        self.hint = hint
+
+
+def _wallclock_covered(rule: "InterproceduralTaint",
+                       module: ModuleInfo) -> bool:
+    return (rule.config.is_sim_side(module.package)
+            and not rule.config.is_wallclock_exempt(module.package))
+
+
+def _never_covered(rule: "InterproceduralTaint",
+                   module: ModuleInfo) -> bool:
+    return False
+
+
+def _unordered_covered(rule: "InterproceduralTaint",
+                       module: ModuleInfo) -> bool:
+    return (rule.config.is_sim_side(module.package)
+            and module.touches_scheduling)
+
+
+_CATEGORIES = (
+    _Category("wall-clock read", detect.wallclock_calls,
+              _wallclock_covered,
+              "simulated code must take time from sim.now"),
+    _Category("OS-entropy draw", detect.os_random_calls, _never_covered,
+              "draw a named RngRegistry stream instead"),
+    _Category("unordered iteration", detect.unordered_iterations,
+              _unordered_covered,
+              "hash order leaks into event order; iterate sorted(...)"),
+)
+
+
+@register
+class InterproceduralTaint(Rule):
+    code = "D111"
+    summary = ("sim-side functions must not reach wall-clock, OS entropy, "
+               "or unordered iteration through their call graph — "
+               "reported at the boundary call")
+    scope = "project"
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        reverse = self._reverse_edges(project)
+        for cat in _CATEGORIES:
+            direct = self._direct_taint(project, cat)
+            closure = self._taint_closure(reverse, direct)
+            yield from self._report(project, cat, direct, closure)
+
+    # ------------------------------------------------------------------
+    def _enforced(self, cat: _Category, project: Project,
+                  package: str) -> bool:
+        """Whether D111 roots live in this module for the category."""
+        if not self.config.is_sim_side(package) or \
+                self.config.is_wallclock_exempt(package):
+            return False
+        if cat.name == "unordered iteration":
+            module = project.modules.get(package)
+            return module is not None and module.touches_scheduling
+        return True
+
+    @staticmethod
+    def _reverse_edges(project: Project) -> Dict[str, Set[str]]:
+        reverse: Dict[str, Set[str]] = {}
+        for qual, fn in project.functions.items():
+            for callee in fn.calls | fn.defines:
+                reverse.setdefault(callee, set()).add(qual)
+        return reverse
+
+    def _direct_taint(self, project: Project, cat: _Category
+                      ) -> Dict[str, Tuple[ast.AST, str]]:
+        """function qualname -> first tainted (node, description)."""
+        direct: Dict[str, Tuple[ast.AST, str]] = {}
+        for module in project.modules.values():
+            hits = list(cat.detector(module))
+            if not hits:
+                continue
+            for node, desc in hits:
+                fn = project.enclosing_function(module, node)
+                if fn is not None:
+                    direct.setdefault(fn.qualname, (node, desc))
+        return direct
+
+    @staticmethod
+    def _taint_closure(reverse: Dict[str, Set[str]],
+                       direct: Dict[str, Tuple[ast.AST, str]]
+                       ) -> Set[str]:
+        seen: Set[str] = set()
+        stack = list(direct)
+        while stack:
+            qual = stack.pop()
+            if qual in seen:
+                continue
+            seen.add(qual)
+            stack.extend(reverse.get(qual, ()))
+        return seen
+
+    def _report(self, project: Project, cat: _Category,
+                direct: Dict[str, Tuple[ast.AST, str]],
+                closure: Set[str]) -> Iterator[Finding]:
+        for qual in sorted(project.functions):
+            fn = project.functions[qual]
+            if not self._enforced(cat, project, fn.module):
+                continue
+            module = project.modules.get(fn.module)
+            if module is None:
+                continue
+            hit = direct.get(qual)
+            if hit is not None:
+                # Direct occurrence: the per-file rules' finding when the
+                # module is in their scope, D111's otherwise (OS entropy).
+                if not cat.covered(self, module):
+                    node, desc = hit
+                    yield module.finding(
+                        node, self.code,
+                        f"{cat.name} {desc} in sim-side {fn.name}() — "
+                        f"{cat.hint}")
+                continue
+            seen_callees: Set[str] = set()
+            for callee, call_node in fn.call_sites:
+                if callee in seen_callees or callee not in closure:
+                    continue
+                seen_callees.add(callee)
+                target = project.functions.get(callee)
+                if target is None:
+                    continue
+                target_module = project.modules.get(target.module)
+                if target_module is not None and \
+                        cat.covered(self, target_module):
+                    continue  # per-file rules own findings over there
+                if self._enforced(cat, project, target.module):
+                    continue  # the callee gets its own D111 finding
+                path = project.find_path(callee, set(direct),
+                                         follow_defines=True)
+                desc = direct[path[-1]][1] if path else "a tainted call"
+                via = " -> ".join(p.rsplit(".", 1)[-1] + "()"
+                                  for p in (path or [callee]))
+                yield module.finding(
+                    call_node, self.code,
+                    f"{fn.name}() reaches a {cat.name} ({desc}) through "
+                    f"{via} — {cat.hint}")
+
+
+# Re-exported for introspection/tests: the taint category names.
+TAINT_CATEGORIES: Tuple[str, ...] = tuple(c.name for c in _CATEGORIES)

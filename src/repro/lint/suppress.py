@@ -116,5 +116,16 @@ class Baseline:
         stale = sum(remaining.values())
         return new, accepted, stale
 
+    def stale_keys(self, findings: Iterable) -> List[Tuple[str, str, str]]:
+        """The ``(path, code, message)`` entries that match no current
+        finding — the ones :meth:`split` counts as stale, spelled out so
+        the CLI can name them (and ``--prune-baseline`` can drop them)."""
+        remaining = Counter(self._counts)
+        for f in findings:
+            k = f.key()
+            if remaining.get(k, 0) > 0:
+                remaining[k] -= 1
+        return sorted(remaining.elements())
+
     def __len__(self) -> int:
         return sum(self._counts.values())

@@ -143,7 +143,7 @@ def run_sharded(spec: Mapping[str, Any], shards: int,
 
     if mode == "process":
         from ..runner.shardpool import ProcessShards
-        executor = ProcessShards(normal, plan, config=pool_config)
+        executor = ProcessShards(normal, plan, config=pool_config)  # repro: noqa=D111 -- pool wall-clock is worker-liveness supervision only; simulated state never reads it
     else:
         executor = InlineShards(normal, plan)
 

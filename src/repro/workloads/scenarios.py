@@ -163,7 +163,7 @@ class Scenario:
             per_flow_rate = cfg.open_loop_mpps * 1e-3 / max(1, cfg.n_involved)
             source = OpenLoopSource(
                 self.testbed.sim, sender, rate_msgs_per_ns=per_flow_rate,
-                rng=self.testbed.rng.stream(f"openloop-{name}"))
+                rng=self.testbed.rng.stream(f"openloop-{name}"))  # repro: noqa=D109 -- per-tenant stream; name comes from the validated scenario spec key
         else:
             source = SaturatingSource(
                 self.testbed.sim, sender,
@@ -176,7 +176,7 @@ class Scenario:
 
     def _stagger(self) -> float:
         """Client threads come up a few microseconds apart, not in lockstep."""
-        rng = self.testbed.rng.stream("client-stagger")
+        rng = self.testbed.rng.stream("client-stagger")  # repro: noqa=D109 -- shares the literal with TopoScenario by design: mutually exclusive builders, same draw sequence on the legacy testbed
         return rng.uniform(0, 20_000.0)
 
     def add_bypass_flow(self, name: str

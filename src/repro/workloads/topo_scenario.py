@@ -223,7 +223,7 @@ class TopoScenario:
                                 / max(1, tenant["flows"]))
                         source = OpenLoopSource(
                             fabric.sim, sender, rate_msgs_per_ns=rate,
-                            rng=fabric.host_rng(host).stream(
+                            rng=fabric.host_rng(host).stream(  # repro: noqa=D109 -- per-tenant stream; name comes from the validated scenario spec key
                                 f"openloop-{name}"))
                     else:
                         source = SaturatingSource(
@@ -246,7 +246,7 @@ class TopoScenario:
     def _stagger(self, host: str) -> float:
         """Per-host client stagger (the legacy unprefixed stream on a
         legacy-named two-host fabric; ``<host>.client-stagger`` else)."""
-        return self.fabric.host_rng(host).stream(
+        return self.fabric.host_rng(host).stream(  # repro: noqa=D109 -- deliberately Scenario's literal: host-prefixed here, byte-identical draws on legacy two-host fabrics
             "client-stagger").uniform(0, 20_000.0)
 
     # ------------------------------------------------------------------

@@ -35,6 +35,17 @@ def run_cli(argv):
     return code, out.getvalue()
 
 
+def run_cli_capturing_stderr(argv):
+    """Like :func:`run_cli` but returns (exit_code, stdout, stderr)."""
+    import contextlib
+    import io
+
+    out, err = io.StringIO(), io.StringIO()
+    with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+        code = main(argv)
+    return code, out.getvalue(), err.getvalue()
+
+
 def write_pkg(root: Path, source: str) -> Path:
     """Materialise ``source`` as a file inside a sim-side package tree."""
     pkg = root / "src" / "repro" / "hw"
@@ -177,6 +188,68 @@ def test_cli_strict_baseline_fails_on_stale_entries(tmp_path):
     assert code == 1
 
 
+def test_cli_names_stale_entries_in_normal_runs(tmp_path):
+    write_pkg(tmp_path, BAD_SIM_MODULE)
+    baseline = tmp_path / "baseline.json"
+    run_cli([str(tmp_path / "src"), "--baseline", str(baseline),
+             "--update-baseline"])
+    (tmp_path / "src" / "repro" / "hw" / "fixture.py").write_text(
+        "LIMITS = (1,)\n")
+    code, _, err = run_cli_capturing_stderr(
+        [str(tmp_path / "src"), "--baseline", str(baseline)])
+    assert code == 0
+    assert "stale baseline entry" in err
+    assert "D101" in err and "D106" in err  # each stale entry is named
+
+
+def test_cli_prune_baseline_drops_stale_entries(tmp_path):
+    write_pkg(tmp_path, BAD_SIM_MODULE)
+    baseline = tmp_path / "baseline.json"
+    run_cli([str(tmp_path / "src"), "--baseline", str(baseline),
+             "--update-baseline"])
+    # Fix one of the two violations: its entry goes stale.
+    (tmp_path / "src" / "repro" / "hw" / "fixture.py").write_text(
+        "CACHE = {}\n")
+    code, _ = run_cli([str(tmp_path / "src"), "--baseline", str(baseline),
+                       "--prune-baseline"])
+    assert code == 0
+    payload = json.loads(baseline.read_text())
+    assert [e["code"] for e in payload["findings"]] == ["D106"]
+    # After pruning, strict mode passes again.
+    code, _ = run_cli([str(tmp_path / "src"), "--baseline", str(baseline),
+                       "--strict-baseline"])
+    assert code == 0
+
+
+def test_cli_prune_baseline_conflicts_are_usage_errors(tmp_path):
+    write_pkg(tmp_path, "LIMITS = (1,)\n")
+    code, _ = run_cli([str(tmp_path / "src"), "--prune-baseline",
+                       "--no-baseline"])
+    assert code == 2
+    code, _ = run_cli([str(tmp_path / "src"), "--prune-baseline",
+                       "--update-baseline"])
+    assert code == 2
+
+
+def test_cli_jobs_matches_serial_run(tmp_path):
+    write_pkg(tmp_path, BAD_SIM_MODULE)
+    serial = run_cli([str(tmp_path / "src"), "--no-baseline"])
+    parallel = run_cli([str(tmp_path / "src"), "--no-baseline",
+                        "--jobs", "2"])
+    assert serial == parallel
+    code, _ = run_cli([str(tmp_path / "src"), "--jobs", "0"])
+    assert code == 2
+
+
+def test_cli_timing_reports_per_rule_wall_clock(tmp_path):
+    write_pkg(tmp_path, "LIMITS = (1,)\n")
+    code, _, err = run_cli_capturing_stderr(
+        [str(tmp_path / "src"), "--no-baseline", "--timing"])
+    assert code == 0
+    assert "timing" in err
+    assert "project-build" in err  # the whole-program pass is measured
+
+
 def test_cli_json_format(tmp_path):
     write_pkg(tmp_path, "CACHE = {}\n")
     code, out = run_cli([str(tmp_path / "src"), "--format", "json"])
@@ -195,7 +268,8 @@ def test_cli_select_unknown_code_is_usage_error(tmp_path):
 def test_cli_list_rules():
     code, out = run_cli(["--list-rules"])
     assert code == 0
-    for rule_code in ("D101", "D102", "D103", "D104", "D105", "D106"):
+    for rule_code in ("D101", "D102", "D103", "D104", "D105", "D106",
+                      "D107", "D108", "D109", "D110", "D111"):
         assert rule_code in out
 
 
