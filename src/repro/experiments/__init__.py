@@ -28,6 +28,7 @@ from . import (
     incast,
     lessons,
     limits,
+    shard_chaos,
     soak,
     table2,
     table3,
@@ -110,6 +111,10 @@ _SPECS: List[ExperimentSpec] = [
     _module_spec("chaos", chaos,
                  "Chaos suite: goodput retention and recovery under "
                  "injected faults (repro.faults)"),
+    _module_spec("shard_chaos", shard_chaos,
+                 "Shard chaos suite: fault plans, cut-link channel "
+                 "faults and worker kills under sharded execution, "
+                 "gated on byte identity (repro.shard)"),
     _module_spec("soak", soak,
                  "Randomized invariant soak: sampled scenario x arch x "
                  "fault plans gated on conservation (repro.audit)"),

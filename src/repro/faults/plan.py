@@ -24,17 +24,24 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
-__all__ = ["FAULT_SITES", "FaultSpec", "FaultPlan"]
+__all__ = ["FAULT_SITES", "CHANNEL_SITE", "FaultSpec", "FaultPlan"]
 
 #: site -> fault kinds it supports.
 FAULT_SITES: Dict[str, Tuple[str, ...]] = {  # repro: noqa=D106 -- registry, never mutated
     "net.link": ("loss", "burst_loss", "corrupt"),
+    "net.channel": ("loss", "latency"),
     "hw.pcie": ("stall", "latency"),
     "hw.nic": ("dma_stall", "descriptor_drop"),
     "hw.cache": ("ddio_reconfig",),
     "hw.cpu": ("slowdown",),
     "apps": ("crash_restart",),
 }
+
+#: The one site injected at the shard coordinator's channel layer
+#: (:mod:`repro.shard.channel`) rather than compiled into a per-host
+#: :class:`~repro.faults.injectors.FaultController`. Under ``--shards 1``
+#: there are no cut links, so these specs are declared no-ops.
+CHANNEL_SITE = "net.channel"
 
 
 def _canonical_value(value: Any) -> Any:
@@ -89,6 +96,20 @@ class FaultSpec:
             raise ValueError("fault duration must be positive")
         if self.magnitude < 0:
             raise ValueError("fault magnitude must be >= 0")
+        if self.site == CHANNEL_SITE:
+            # Channel faults address cut links, which belong to no host
+            # and carry whole messages, not flow-tagged packets.
+            if self.host is not None:
+                raise ValueError(
+                    "net.channel faults target shard-boundary links, "
+                    "not hosts; drop the host qualifier")
+            if self.flow is not None:
+                raise ValueError(
+                    "net.channel faults apply per channel message and "
+                    "do not support flow filters")
+            if not self.finite:
+                raise ValueError(
+                    "net.channel faults need a finite duration")
         params = self.params
         if isinstance(params, Mapping):
             params = params.items()
@@ -169,6 +190,16 @@ class FaultPlan:
         return f"FaultPlan({list(self.specs)!r})"
 
     # ------------------------------------------------------------------
+    def split_channel(self) -> Tuple[Tuple[FaultSpec, ...], "FaultPlan"]:
+        """``(channel specs, host-site plan)`` — ``net.channel`` specs go
+        to the shard coordinator's channel layer
+        (:mod:`repro.shard.channel`); everything else compiles into
+        per-host controllers via :meth:`split_by_host`. Spec order is
+        preserved on both sides (it names the RNG streams)."""
+        channel = tuple(s for s in self.specs if s.site == CHANNEL_SITE)
+        hosts = FaultPlan(s for s in self.specs if s.site != CHANNEL_SITE)
+        return channel, hosts
+
     def split_by_host(self, primary: str) -> Dict[str, "FaultPlan"]:
         """Partition the plan per target host for a multi-host fabric.
 

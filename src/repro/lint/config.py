@@ -36,6 +36,11 @@ SIM_PACKAGES: Tuple[str, ...] = (
     "repro.topo",
     "repro.scenario",
     "repro.shard",
+    # The shard command journal is host-side plumbing by location but
+    # sim-side by contract: its replay must be bit-reproducible, so it
+    # is held to the simulated world's rules (the rest of repro.runner
+    # stays exempt).
+    "repro.runner.shardjournal",
 )
 
 
@@ -76,15 +81,18 @@ class LintConfig:
     #: The audit wiring module whose sources D108 resolves.
     audit_wiring_module: str = "repro.audit.wiring"
     #: Functions allowed to build dynamic RNG stream names (D109): the
-    #: host-prefix helper and the fault controller's per-spec streams.
+    #: host-prefix helper and the fault controllers' per-spec streams.
     stream_helpers: Tuple[str, ...] = (
         "repro.topo.fabric.HostRng.stream",
         "repro.faults.injectors.FaultController.stream",
+        "repro.shard.channel.ChannelFaultController.stream",
     )
     #: Module holding the fault-site registry literal (D110).
     fault_plan_module: str = "repro.faults.plan"
     #: Module holding the ``@_handler(site, kind)`` implementations.
     fault_injector_module: str = "repro.faults.injectors"
+    #: Second handler module: coordinator-layer ``net.channel`` faults.
+    fault_channel_module: str = "repro.shard.channel"
     #: Documentation page whose site table must match the registry,
     #: relative to the repository root (located by walking up from the
     #: fault plan module's source file).

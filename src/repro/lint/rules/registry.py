@@ -289,7 +289,18 @@ class FaultSiteDrift(Rule):
         if sites is None:
             return
         anchor, registry = sites
-        handlers = self._parse_handlers(injectors)
+        # Handlers live in two modules: per-host injectors, plus the
+        # shard coordinator's channel layer (net.channel). Both use the
+        # same @_handler(site, kind) decorator shape.
+        handler_modules = [injectors]
+        channel = project.modules.get(self.config.fault_channel_module)
+        if channel is not None:
+            handler_modules.append(channel)
+        handlers: Dict[Tuple[str, str],
+                       Tuple[ModuleInfo, ast.AST]] = {}
+        for module in handler_modules:
+            for key, node in self._parse_handlers(module).items():
+                handlers.setdefault(key, (module, node))
 
         declared = {(site, kind) for site, kinds in registry.items()
                     for kind in kinds}
@@ -297,12 +308,12 @@ class FaultSiteDrift(Rule):
             yield plan.finding(
                 anchor, self.code,
                 f"FAULT_SITES declares ({site!r}, {kind!r}) but "
-                f"{self.config.fault_injector_module} has no "
-                "@_handler for it — arming such a plan raises at "
-                "injection time")
-        for (site, kind), node in sorted(handlers.items()):
+                f"neither {self.config.fault_injector_module} nor "
+                f"{self.config.fault_channel_module} has a @_handler "
+                "for it — arming such a plan raises at injection time")
+        for (site, kind), (module, node) in sorted(handlers.items()):
             if (site, kind) not in declared:
-                yield injectors.finding(
+                yield module.finding(
                     node, self.code,
                     f"@_handler({site!r}, {kind!r}) implements a fault "
                     "FAULT_SITES does not declare — no plan can ever "

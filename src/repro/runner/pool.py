@@ -119,6 +119,12 @@ class _Worker:
 
 
 def _worker_main(task_q, result_q) -> None:
+    # The parent-side daemon flag (which reaps us on pool exit) also
+    # copies into this process and would forbid us children of our own.
+    # Clearing the child-local copy lets points that shard across worker
+    # processes (repro.runner.shardpool) run under the pool; the parent
+    # still sees us as daemonic.
+    multiprocessing.current_process().daemon = False
     while True:
         item = task_q.get()
         if item is None:

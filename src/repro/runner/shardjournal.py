@@ -1,0 +1,51 @@
+"""The shard command journal: replayable history of a sharded run.
+
+A conservative barrier run drives every shard kernel through a pure
+command stream — ``("advance", horizon, inclusive, inbox)`` windows
+plus one ``("open",)`` phase marker — and a shard kernel is a pure
+function of ``(scenario, plan, index)`` plus that stream: the inbox
+messages carry their exact calendar keys, so replaying the journaled
+commands against a freshly built kernel reproduces the original
+byte-for-byte (the argument pinned by ``tests/shard/``'s identity
+suite and written up in docs/SHARDING.md).
+
+:class:`ShardJournal` records, per shard, every command the worker
+*acknowledged* — the coordinator appends only after receiving the
+reply, so an in-flight command is never journaled and is simply
+re-issued after a replay. :class:`~repro.runner.shardpool.
+ProcessShards` uses this to resurrect a dead worker mid-run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["ShardJournal"]
+
+
+class ShardJournal:
+    """Per-shard ordered log of acknowledged coordinator commands."""
+
+    def __init__(self, n_shards: int):
+        self.n_shards = n_shards
+        self._commands: List[List[Tuple]] = [[] for _ in range(n_shards)]
+
+    def record(self, shard: int, command: Tuple) -> None:
+        """Append one acknowledged command to ``shard``'s log."""
+        self._commands[shard].append(command)
+
+    def commands(self, shard: int) -> Tuple[Tuple, ...]:
+        """``shard``'s acknowledged commands, in issue order."""
+        return tuple(self._commands[shard])
+
+    def windows(self, shard: int) -> int:
+        """Barrier windows ``shard`` has completed."""
+        return sum(1 for cmd in self._commands[shard]
+                   if cmd[0] == "advance")
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-safe summary (runlog / stats payload)."""
+        return {"shards": self.n_shards,
+                "commands": [len(cmds) for cmds in self._commands],
+                "windows": [self.windows(i)
+                            for i in range(self.n_shards)]}

@@ -1,4 +1,4 @@
-"""Process-backed shard execution with runlog heartbeats.
+"""Process-backed shard execution with runlog heartbeats and recovery.
 
 One long-lived worker process per shard kernel, driven over pipes by the
 coordinator (:func:`repro.shard.run_sharded` with ``mode="process"``).
@@ -14,9 +14,19 @@ one sharded run, where the failure unit is a shard, not a point:
   longer than ``stall_s`` gets a ``shard_stall`` event naming it (and a
   ``shard_resume`` when it recovers), instead of the whole run
   surfacing as an opaque point timeout;
-- **crash detection** — a worker that dies mid-window, or overruns
-  ``timeout_s``, fails the run with a ``shard_failed`` event and an
-  exception naming the shard.
+- **journal-replay recovery** — a worker that dies mid-window, or
+  overruns ``timeout_s``, is *restarted*: a fresh worker rebuilds the
+  shard kernel from the scenario and deterministically replays the
+  journaled command history (:class:`~repro.runner.shardjournal.
+  ShardJournal`) up to the last completed barrier, then the in-flight
+  command is re-issued and the run resumes — ``shard_restarted`` and
+  ``shard_replay_done`` events attribute each recovery, with capped
+  exponential backoff and a per-shard budget of ``max_restarts``;
+- **failure** — a worker raising a (deterministic, hence
+  restart-futile) exception, a diverged replay, or an exhausted restart
+  budget fails the run with a ``shard_failed`` event and an exception
+  naming the shard, after a *bounded* teardown that joins every worker
+  and closes every pipe end — no orphans survive a failed run.
 
 Events append to the same JSONL format the sweep runner's
 :class:`~repro.runner.progress.Progress` writes (``{"ts": ..., "event":
@@ -30,13 +40,18 @@ import json
 import multiprocessing
 import time
 import traceback
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
+
+from .shardjournal import ShardJournal
 
 __all__ = ["ShardPoolConfig", "ProcessShards"]
 
 _POLL_S = 0.05
+
+#: Total wall-clock budget for joining all workers at teardown.
+_CLOSE_JOIN_S = 5.0
 
 
 @dataclass
@@ -52,6 +67,17 @@ class ShardPoolConfig:
     #: Path of the JSONL runlog to append shard events to (``None`` =
     #: no logging).
     runlog: Optional[str] = None
+    #: Per-shard restart budget before the run fails (0 = fail on the
+    #: first death, the pre-recovery behaviour).
+    max_restarts: int = 2
+    #: First restart's backoff sleep; doubles per attempt up to the cap.
+    restart_backoff_s: float = 0.1
+    restart_backoff_cap_s: float = 2.0
+    #: Chaos hook: ``(window_index, shard)`` pairs — kill that shard's
+    #: worker right after the coordinator issues that barrier window's
+    #: advance command (0-based), exercising the recovery path
+    #: deterministically (``--shard-kill`` on the scenario CLI).
+    kill_plan: Tuple[Tuple[int, int], ...] = field(default_factory=tuple)
 
 
 def _shard_worker(conn, normal, shards: int, index: int) -> None:
@@ -99,39 +125,68 @@ def _shard_worker(conn, normal, shards: int, index: int) -> None:
             pass
 
 
+class _ShardDead(Exception):
+    """Internal: the worker died / timed out — restartable, unlike a
+    deterministic ``("error", ...)`` reply (which would simply recur
+    on replay)."""
+
+
 class ProcessShards:
     """The shard-executor protocol of :mod:`repro.shard.coordinator`,
-    backed by one worker process per shard."""
+    backed by one worker process per shard, with journal-replay
+    recovery of dead workers."""
 
     def __init__(self, normal: Dict[str, Any], plan, config=None):
         self.config = config or ShardPoolConfig()
         self.plan = plan
         self.n = plan.n_shards
+        self._normal = dict(normal)
         self._runlog_path = (Path(self.config.runlog)
                              if self.config.runlog else None)
         self._closed = False
         self._last_events = [0] * self.n
         self._last_beat = time.monotonic()
+        self.journal = ShardJournal(self.n)
+        self._restarts = [0] * self.n
+        self._inflight: List[Optional[Tuple]] = [None] * self.n
+        self._window = 0
         self._log({"event": "shard_pool_start", "shards": self.n,
                    "plan": plan.describe()})
-        ctx = (multiprocessing.get_context(self.config.start_method)
-               if self.config.start_method
-               else multiprocessing.get_context())
-        self._conns = []
-        self._procs = []
+        self._ctx = (multiprocessing.get_context(self.config.start_method)
+                     if self.config.start_method
+                     else multiprocessing.get_context())
+        self._conns: List[Any] = [None] * self.n
+        self._procs: List[Any] = [None] * self.n
         for i in range(self.n):
-            parent, child = ctx.Pipe()
-            proc = ctx.Process(target=_shard_worker,
-                               args=(child, dict(normal), self.n, i),
-                               name=f"repro-shard-{i}", daemon=True)
-            proc.start()
-            child.close()
-            self._conns.append(parent)
-            self._procs.append(proc)
+            self._spawn(i)
         for i in range(self.n):
-            reply = self._recv(i)
-            self._log({"event": "shard_ready", "shard": i,
-                       "hosts": reply[1]})
+            while True:
+                try:
+                    reply = self._recv(i)
+                except _ShardDead as exc:
+                    self._respawn(i, str(exc))
+                    continue
+                self._log({"event": "shard_ready", "shard": i,
+                           "hosts": reply[1]})
+                break
+
+    def _spawn(self, index: int) -> None:
+        """Start (or re-start) shard ``index``'s worker process. The
+        child pipe end is closed in the parent immediately, so a dead
+        worker's pipe reads EOF instead of hanging."""
+        parent, child = self._ctx.Pipe()
+        # Daemonic workers die with the coordinator, but a daemonic
+        # parent (a sweep pool worker) may not have daemonic children;
+        # there the bounded close()/_fail teardown is the only reaper.
+        daemon = not multiprocessing.current_process().daemon
+        proc = self._ctx.Process(
+            target=_shard_worker,
+            args=(child, self._normal, self.n, index),
+            name=f"repro-shard-{index}", daemon=daemon)
+        proc.start()
+        child.close()
+        self._conns[index] = parent
+        self._procs[index] = proc
 
     # -- runlog ---------------------------------------------------------
     def _log(self, record: Dict[str, Any]) -> None:
@@ -145,8 +200,10 @@ class ProcessShards:
 
     # -- supervised receive ---------------------------------------------
     def _recv(self, index: int) -> Tuple:
-        """Wait for shard ``index``'s next reply, logging stalls and
-        failing the run on crash, error reply, or timeout."""
+        """Wait for shard ``index``'s next reply, logging stalls.
+        Raises :class:`_ShardDead` on crash, pipe corruption, or
+        timeout (restartable); fails the run outright on a worker's
+        ``("error", ...)`` reply (deterministic, restart-futile)."""
         conn = self._conns[index]
         cfg = self.config
         start = time.monotonic()
@@ -159,12 +216,13 @@ class ProcessShards:
                            "waited_s": round(waited, 3),
                            "events_executed": self._last_events[index]})
             if cfg.timeout_s is not None and waited >= cfg.timeout_s:
-                self._fail(index, f"timeout after {cfg.timeout_s}s")
+                raise _ShardDead(f"timeout after {cfg.timeout_s}s")
             if conn.poll(_POLL_S):
                 try:
                     reply = conn.recv()
-                except EOFError:
-                    self._fail(index, "worker closed its pipe")
+                except Exception as exc:  # EOF or a torn mid-kill write
+                    raise _ShardDead(
+                        f"worker closed its pipe ({exc!r})") from exc
                 if reply[0] == "error":
                     self._fail(index, reply[1])
                 if stalled:
@@ -173,25 +231,128 @@ class ProcessShards:
                                    time.monotonic() - start, 3)})
                 return reply
             if not self._procs[index].is_alive():
-                self._fail(index, "worker died (exit "
-                                  f"{self._procs[index].exitcode})")
+                raise _ShardDead("worker died (exit "
+                                 f"{self._procs[index].exitcode})")
 
     def _fail(self, index: int, detail: str) -> None:
-        """Record the failure, tear the pool down, and raise."""
+        """Record the failure, tear the whole pool down (bounded), and
+        raise."""
         self._log({"event": "shard_failed", "shard": index,
                    "error": detail})
         self.close()
         raise RuntimeError(f"shard {index} failed: {detail}")
 
+    # -- recovery -------------------------------------------------------
+    def _respawn(self, index: int, detail: str) -> None:
+        """Charge one restart attempt, reap the corpse, back off
+        (capped exponential), and start a fresh worker — or fail the
+        run when the budget is spent."""
+        attempt = self._restarts[index] + 1
+        if attempt > self.config.max_restarts:
+            self._fail(index, f"{detail} (restart budget of "
+                              f"{self.config.max_restarts} exhausted)")
+        self._restarts[index] = attempt
+        self._log({"event": "shard_restarted", "shard": index,
+                   "attempt": attempt, "reason": detail})
+        proc, conn = self._procs[index], self._conns[index]
+        if proc.is_alive():
+            proc.kill()
+        proc.join(timeout=_CLOSE_JOIN_S)
+        try:
+            conn.close()
+        except OSError:
+            pass
+        backoff = min(self.config.restart_backoff_cap_s,
+                      self.config.restart_backoff_s * 2 ** (attempt - 1))
+        if backoff > 0:
+            time.sleep(backoff)
+        self._spawn(index)
+
+    def _restart(self, index: int, detail: str) -> None:
+        """Full mid-run recovery: respawn, handshake, replay the
+        journal, verify determinism, re-issue the in-flight command.
+        Loops (budget-bounded via :meth:`_respawn`) if the replacement
+        dies too."""
+        while True:
+            self._respawn(index, detail)
+            try:
+                self._recv(index)  # the fresh worker's ready handshake
+                self._replay(index)
+            except _ShardDead as exc:
+                detail = str(exc)
+                continue
+            if self._inflight[index] is not None:
+                try:
+                    self._conns[index].send(self._inflight[index])
+                except (BrokenPipeError, OSError):
+                    detail = "worker died before the re-issued command"
+                    continue
+            return
+
+    def _replay(self, index: int) -> None:
+        """Drive the fresh kernel through the journaled command history.
+        Replies are discarded — every outbox they carry was already
+        delivered — but the replayed event count must equal the
+        acknowledged total: the kernel is a pure function of the
+        command stream, so any difference means non-determinism and the
+        merged results could no longer be trusted."""
+        commands = self.journal.commands(index)
+        events = 0
+        for cmd in commands:
+            self._conns[index].send(cmd)
+            reply = self._recv(index)
+            if reply[0] == "advanced":
+                events += reply[1]
+        if events != self._last_events[index]:
+            self._fail(index,
+                       f"replay diverged: {events} events replayed vs "
+                       f"{self._last_events[index]} acknowledged")
+        self._log({"event": "shard_replay_done", "shard": index,
+                   "commands": len(commands), "events_executed": events})
+
+    # -- command round-trip ---------------------------------------------
+    def _issue(self, index: int, cmd: Tuple) -> None:
+        """Send one command, remembering it as in-flight until its
+        reply lands. A send on a broken pipe is deliberately swallowed:
+        :meth:`_collect` detects the death and recovers."""
+        self._inflight[index] = cmd
+        try:
+            self._conns[index].send(cmd)
+        except (BrokenPipeError, OSError):
+            pass
+
+    def _collect(self, index: int) -> Tuple:
+        """The in-flight command's reply, restarting through worker
+        deaths. On success the command is journaled (``advance`` /
+        ``open`` — the replayable prefix) and retired."""
+        while True:
+            try:
+                reply = self._recv(index)
+            except _ShardDead as exc:
+                self._restart(index, str(exc))
+                continue
+            cmd = self._inflight[index]
+            if cmd is not None and cmd[0] in ("advance", "open"):
+                self.journal.record(index, cmd)
+            self._inflight[index] = None
+            return reply
+
     # -- executor protocol ----------------------------------------------
     def advance(self, horizon: float, inclusive: bool,
                 inboxes: List[List[Tuple]]) -> List[List[Tuple]]:
         """Run one barrier window on every shard concurrently."""
-        for i, conn in enumerate(self._conns):
-            conn.send(("advance", horizon, inclusive, inboxes[i]))
+        window = self._window
+        self._window += 1
+        for i in range(self.n):
+            self._issue(i, ("advance", horizon, inclusive, inboxes[i]))
+        for kill_window, shard in self.config.kill_plan:
+            if kill_window == window and 0 <= shard < self.n:
+                proc = self._procs[shard]
+                if proc.is_alive():
+                    proc.kill()
         outs = []
         for i in range(self.n):
-            reply = self._recv(i)
+            reply = self._collect(i)
             self._last_events[i] += reply[1]
             outs.append(reply[2])
         now = time.monotonic()
@@ -205,39 +366,62 @@ class ProcessShards:
 
     def open_windows(self) -> None:
         """Open measurement windows on every shard."""
-        for conn in self._conns:
-            conn.send(("open",))
         for i in range(self.n):
-            self._recv(i)
+            self._issue(i, ("open",))
+        for i in range(self.n):
+            self._collect(i)
 
     def finish(self) -> List[Tuple]:
-        """Collect every shard's final export and log its event count."""
-        for conn in self._conns:
-            conn.send(("finish",))
+        """Collect every shard's final export and log its event count.
+        ``finish`` is not journaled (nothing ever replays past it); a
+        worker dying mid-export replays to the last barrier and the
+        re-issued ``finish`` exports the identical state."""
+        for i in range(self.n):
+            self._issue(i, ("finish",))
         finals = []
         for i in range(self.n):
-            reply = self._recv(i)
+            reply = self._collect(i)
             finals.append(reply[1:])
             self._log({"event": "shard_done", "shard": i,
                        "events_executed": reply[4]})
         return finals
 
     def close(self) -> None:
-        """Shut the workers down (idempotent)."""
+        """Shut the workers down (idempotent) within a bounded
+        wall-clock budget: polite exit, one shared join deadline, then
+        terminate -> kill escalation, and close every parent pipe end —
+        also the teardown path of a *failed* run, so no orphaned
+        process or fd survives."""
         if self._closed:
             return
         self._closed = True
+        procs = [p for p in self._procs if p is not None]
         for conn in self._conns:
+            if conn is None:
+                continue
             try:
                 conn.send(("exit",))
             except (BrokenPipeError, OSError):
                 pass
-        for proc in self._procs:
-            proc.join(timeout=5)
+        deadline = time.monotonic() + _CLOSE_JOIN_S
+        for proc in procs:
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+        for proc in procs:
             if proc.is_alive():
                 proc.terminate()
+        for proc in procs:
+            if proc.is_alive():
                 proc.join(timeout=2)
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join(timeout=2)
         for conn in self._conns:
-            conn.close()
+            if conn is None:
+                continue
+            try:
+                conn.close()
+            except OSError:
+                pass
         self._log({"event": "shard_pool_done", "shards": self.n,
-                   "events_executed": list(self._last_events)})
+                   "events_executed": list(self._last_events),
+                   "restarts": list(self._restarts)})

@@ -84,7 +84,21 @@ def _cmd_run(args) -> int:
         pool_config = None
         if args.shard_mode == "process":
             from ..runner.shardpool import ShardPoolConfig
-            pool_config = ShardPoolConfig(runlog=args.runlog)
+            try:
+                kill_plan = tuple(
+                    (int(w), int(s)) for w, _, s in
+                    (spec.partition(":") for spec in args.shard_kill))
+            except ValueError:
+                print("error: --shard-kill takes WINDOW:SHARD "
+                      "(integers)", file=sys.stderr)
+                return 1
+            pool_config = ShardPoolConfig(
+                runlog=args.runlog,
+                heartbeat_s=args.shard_heartbeat,
+                stall_s=args.shard_stall,
+                timeout_s=args.shard_timeout,
+                max_restarts=args.shard_restarts,
+                kill_plan=kill_plan)
         results = run_sharded(normal, args.shards, mode=args.shard_mode,
                               pool_config=pool_config)
     else:
@@ -145,6 +159,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--runlog", default=None,
                        help="append shard pool events to this "
                             "runlog.jsonl (process mode only)")
+    p_run.add_argument("--shard-heartbeat", type=float, default=5.0,
+                       metavar="S",
+                       help="seconds between shard heartbeat events "
+                            "in the runlog (process mode)")
+    p_run.add_argument("--shard-stall", type=float, default=30.0,
+                       metavar="S",
+                       help="seconds of worker silence before a "
+                            "shard_stall event is logged (process mode)")
+    p_run.add_argument("--shard-timeout", type=float, default=None,
+                       metavar="S",
+                       help="hard per-reply budget in seconds; an "
+                            "overrunning worker is killed and recovered "
+                            "by journal replay (process mode; default: "
+                            "wait forever, logging stalls)")
+    p_run.add_argument("--shard-restarts", type=int, default=2,
+                       metavar="N",
+                       help="per-shard restart budget before the run "
+                            "fails (process mode)")
+    p_run.add_argument("--shard-kill", action="append", default=[],
+                       metavar="WINDOW:SHARD",
+                       help="chaos hook: kill SHARD's worker at barrier "
+                            "WINDOW (0-based; repeatable; process mode) "
+                            "— the run must still complete byte-"
+                            "identically via journal replay")
     p_run.set_defaults(func=_cmd_run)
     return parser
 

@@ -1,0 +1,198 @@
+"""Coordinator-layer faults on cut links (the ``net.channel`` site).
+
+Host-site faults compile into per-shard
+:class:`~repro.faults.injectors.FaultController` processes; the one
+place those controllers cannot reach is the *channel* — the cut links a
+:class:`~repro.topo.partition.ShardPlan` severs, whose packets travel
+as coordinator messages instead of simulator events.
+:class:`ChannelFaultController` injects loss and latency there: the
+coordinator passes every exchanged message through :meth:`apply`
+between draining one shard's outbox and filling the next shard's inbox.
+
+Determinism: the coordinator traverses messages in a fixed order
+(shards in index order, each outbox in emission order), which is itself
+a pure function of (scenario, shard count). Every stochastic decision
+draws from a named stream of a seeded
+:class:`~repro.sim.rng.RngRegistry`, so a plan plus a seed fully
+determines every dropped or delayed message — identically in inline
+and process mode. Under ``--shards 1`` there are no cut links and the
+site is a declared no-op (:data:`repro.faults.plan.CHANNEL_SITE`).
+
+Audit: a dropped message was debited ``transmitted`` by the egress
+shard but never credits ``forwarded`` on the ingress shard; a delayed
+message may still be un-forwarded at the measurement horizon. Both
+would break the merged ``switch.<sw>.port.<i>.wire`` equation, so
+:meth:`partial_snapshots` emits synthetic partials crediting
+``channel_dropped`` / ``channel_delayed`` on the affected accounts —
+appended *after* the shard partials so the real egress half fixes the
+equation's parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..faults.plan import FaultSpec
+from ..sim.rng import RngRegistry
+from ..topo.fabric import port_plan
+
+__all__ = ["ChannelFaultController"]
+
+#: A channel message as emitted by :class:`~repro.shard.kernel
+#: .ShardKernel`: ``(dst_shard, kind, when, seq, payload)``.
+_Msg = Tuple[Any, ...]
+
+_Filter = Callable[[_Msg], Optional[_Msg]]
+_Handler = Callable[["ChannelFaultController", FaultSpec, int], _Filter]
+
+#: (site, kind) -> filter factory.
+_CHANNEL_HANDLERS: Dict[Tuple[str, str], _Handler] = {}  # repro: noqa=D106 -- registry, populated at import only
+
+
+def _handler(site: str, kind: str):
+    def register(fn: _Handler) -> _Handler:
+        _CHANNEL_HANDLERS[(site, kind)] = fn
+        return fn
+    return register
+
+
+class ChannelFaultController:
+    """Compiles ``net.channel`` specs into per-message filters.
+
+    ``specs`` is the channel half of :meth:`repro.faults.plan.FaultPlan.
+    split_channel` (order names the RNG streams); ``seed`` the
+    scenario's root seed; ``topology`` the *full* topology, whose
+    :func:`~repro.topo.fabric.port_plan` names the audit account of any
+    cut link without holding a fabric.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec], seed: int, topology):
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+        self.rng = RngRegistry(seed)
+        self._port_index: Dict[Tuple[str, str], int] = {}
+        per_switch: Dict[str, int] = {}
+        for sw, nbr in port_plan(topology):
+            self._port_index[(sw, nbr)] = per_switch.get(sw, 0)
+            per_switch[sw] = self._port_index[(sw, nbr)] + 1
+        self._filters: List[Tuple[FaultSpec, _Filter]] = []
+        for index, spec in enumerate(self.specs):
+            factory = _CHANNEL_HANDLERS.get((spec.site, spec.kind))
+            if factory is None:
+                raise ValueError(f"no channel injector for "
+                                 f"site={spec.site!r} kind={spec.kind!r}")
+            self._filters.append((spec, factory(self, spec, index)))
+        #: ``(src_switch, dst_switch, due time)`` per dropped message.
+        self.drops: List[Tuple[str, str, float]] = []
+        #: ``(src_switch, dst_switch, original due, rewritten due)``.
+        self.delays: List[Tuple[str, str, float, float]] = []
+
+    def __bool__(self) -> bool:
+        return bool(self._filters)
+
+    # ------------------------------------------------------------------
+    def stream(self, spec: FaultSpec, index: int):
+        """The spec's seeded draw stream. The default name is prefixed
+        ``channel.`` so coordinator draws can never alias a host
+        controller's ``faults.<i>.<site>.<kind>`` stream."""
+        name = spec.stream or f"channel.{index}.{spec.site}.{spec.kind}"
+        return self.rng.stream(name)
+
+    def apply(self, msg: _Msg) -> Optional[_Msg]:
+        """Filter one exchanged message: the message (possibly with a
+        rewritten due time), or ``None`` when a fault consumed it.
+
+        Only ``pkt`` messages — packets on a cut wire — are eligible;
+        ACK messages model the receiver's bookkeeping, not a link.
+        Window membership is judged on the *original* due time, so a
+        latency rewrite cannot move a message into a later spec's
+        window; rewrites by successive specs accumulate.
+        """
+        if msg[1] != "pkt":
+            return msg
+        orig = msg[2]
+        src_sw, dst_sw = msg[4][0], msg[4][1]
+        for spec, filt in self._filters:
+            if not (spec.start <= orig < spec.start + spec.duration):
+                continue
+            verdict = filt(msg)
+            if verdict is None:
+                self.drops.append((src_sw, dst_sw, orig))
+                return None
+            msg = verdict
+        if msg[2] != orig:
+            self.delays.append((src_sw, dst_sw, orig, msg[2]))
+        return msg
+
+    # ------------------------------------------------------------------
+    def partial_snapshots(self, t_end: float) -> List[Dict[str, Any]]:
+        """Synthetic partials balancing the merged wire equations.
+
+        A drop is credited when its message was due by ``t_end`` (later
+        ones are still covered by the egress shard's ``in_flight``); a
+        delay when the original due time is inside the run but the
+        rewritten one is past it (otherwise it either forwarded
+        normally or ``in_flight`` covers it).
+        """
+        credits: Dict[Tuple[str, str], Dict[str, float]] = {}
+        for src_sw, dst_sw, when in self.drops:
+            if when <= t_end:
+                bucket = credits.setdefault((src_sw, dst_sw), {})
+                bucket["channel_dropped"] = \
+                    bucket.get("channel_dropped", 0.0) + 1.0
+        for src_sw, dst_sw, orig, new in self.delays:
+            if orig <= t_end < new:
+                bucket = credits.setdefault((src_sw, dst_sw), {})
+                bucket["channel_delayed"] = \
+                    bucket.get("channel_delayed", 0.0) + 1.0
+        out = []
+        for (src_sw, dst_sw) in sorted(credits):
+            index = self._port_index[(src_sw, dst_sw)]
+            out.append({
+                "account": f"switch.{src_sw}.port.{index}.wire",
+                "unit": "packets",
+                "debits": {},
+                "credits": credits[(src_sw, dst_sw)],
+                "slack": 0.0,
+            })
+        return out
+
+    def describe(self) -> Dict[str, int]:
+        """Injection counters for run stats and tests."""
+        return {"specs": len(self.specs), "dropped": len(self.drops),
+                "delayed": len(self.delays)}
+
+
+# ----------------------------------------------------------------------
+# net.channel — loss and latency on cut-link messages
+# ----------------------------------------------------------------------
+@_handler("net.channel", "loss")
+def _channel_loss(controller: ChannelFaultController, spec: FaultSpec,
+                  index: int) -> _Filter:
+    """Drop an in-window message with probability ``magnitude``. The
+    egress shard already executed the local wire half (``in_flight``
+    decremented at the due time), so the loss is exactly a packet
+    vanishing on the wire — the same observable as ``net.link`` loss,
+    one propagation later."""
+    rng = controller.stream(spec, index)
+    p = spec.magnitude
+
+    def filt(msg: _Msg) -> Optional[_Msg]:
+        return None if rng.random() < p else msg
+
+    return filt
+
+
+@_handler("net.channel", "latency")
+def _channel_latency(controller: ChannelFaultController, spec: FaultSpec,
+                     index: int) -> _Filter:
+    """Add ``magnitude`` ns to an in-window message's due time. The
+    rewritten key ``(when + magnitude, seq)`` is still unique (``seq``
+    is a one-shot composite domain counter value) and still in the
+    receiver's future, so keyed injection stays valid."""
+    extra = spec.magnitude
+
+    def filt(msg: _Msg) -> Optional[_Msg]:
+        dst, kind, when, seq, payload = msg
+        return (dst, kind, when + extra, seq, payload)
+
+    return filt

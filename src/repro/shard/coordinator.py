@@ -34,11 +34,12 @@ from __future__ import annotations
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..audit import merge_audit, record_report
-from ..scenario import validate
+from ..scenario import fault_plan_of, validate
 from ..scenario.schema import build_topology
 from ..sim.units import US
 from ..topo.partition import ShardPlan, partition
 from ..workloads.topo_scenario import TopoScenario
+from .channel import ChannelFaultController
 from .kernel import ShardKernel
 
 __all__ = ["InlineShards", "run_sharded"]
@@ -82,13 +83,16 @@ class InlineShards:
 
 
 def _barrier_run(executor, n: int, lookahead: float, start: float,
-                 target: float,
-                 inbox: List[List[Tuple]]) -> Tuple[int, float,
-                                                    List[List[Tuple]]]:
+                 target: float, inbox: List[List[Tuple]],
+                 channel: Optional[ChannelFaultController] = None
+                 ) -> Tuple[int, float, List[List[Tuple]]]:
     """Advance all shards from ``start`` to ``target`` in conservative
     windows; returns ``(rounds, now, undelivered inbox)`` — the inbox
     holds only messages due strictly after ``target``, which the next
-    phase's first window delivers."""
+    phase's first window delivers. ``channel`` (the compiled
+    ``net.channel`` fault filters) sits between outbox drain and inbox
+    fill: it may drop a message or rewrite its due time, *before* the
+    pending count so a drop never forces an extra round."""
     now = start
     rounds = 0
     while True:
@@ -99,6 +103,10 @@ def _barrier_run(executor, n: int, lookahead: float, start: float,
         pending = 0
         for out in outs:
             for msg in out:
+                if channel is not None:
+                    msg = channel.apply(msg)
+                    if msg is None:
+                        continue
                 inbox[msg[0]].append(msg)
                 if msg[2] <= target:
                     pending += 1
@@ -147,6 +155,11 @@ def run_sharded(spec: Mapping[str, Any], shards: int,
     else:
         executor = InlineShards(normal, plan)
 
+    channel_specs, _host_faults = fault_plan_of(normal).split_channel()
+    channel = (ChannelFaultController(channel_specs, normal["seed"],
+                                      topology)
+               if channel_specs else None)
+
     measure = normal["measure"]
     t_warm = measure["warmup_us"] * US
     t_end = t_warm + measure["duration_us"] * US
@@ -154,10 +167,12 @@ def run_sharded(spec: Mapping[str, Any], shards: int,
     try:
         inbox: List[List[Tuple]] = [[] for _ in range(n)]
         rounds, now, inbox = _barrier_run(
-            executor, n, plan.lookahead, 0.0, t_warm, inbox)
+            executor, n, plan.lookahead, 0.0, t_warm, inbox,
+            channel=channel)
         executor.open_windows()
         more, now, inbox = _barrier_run(
-            executor, n, plan.lookahead, now, t_end, inbox)
+            executor, n, plan.lookahead, now, t_end, inbox,
+            channel=channel)
         finals = executor.finish()
     finally:
         executor.close()
@@ -172,6 +187,12 @@ def run_sharded(spec: Mapping[str, Any], shards: int,
         partials_per.append(partials)
         events.append(executed)
 
+    if channel is not None:
+        # After the shard partials: the real egress half must be the
+        # first-seen partial of each account (it carries the equation's
+        # bounded/tolerance parameters).
+        partials_per.append(channel.partial_snapshots(t_end))
+
     report = merge_audit(t_end, entries_per, partials_per)
     audit_dict = report.to_dict()
     ordered: Dict[str, Dict[str, Any]] = {}
@@ -183,4 +204,6 @@ def run_sharded(spec: Mapping[str, Any], shards: int,
     if stats is not None:
         stats["rounds"] = rounds + more
         stats["events"] = events
+        if channel is not None:
+            stats["channel"] = channel.describe()
     return ordered

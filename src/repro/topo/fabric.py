@@ -61,7 +61,32 @@ from ..sim import RngRegistry, Simulator
 from ..sim.stats import Counter
 from .graph import LinkSpec, Topology
 
-__all__ = ["Fabric", "HostEndpoint", "HostRng", "SwitchNode"]
+__all__ = ["Fabric", "HostEndpoint", "HostRng", "SwitchNode", "port_plan"]
+
+
+def port_plan(topology: Topology,
+              tables: Optional[Dict[str, Dict[str, Tuple[str, ...]]]] = None
+              ) -> Dict[Tuple[str, str], LinkSpec]:
+    """The deterministic egress-port plan of a topology: one ``(switch,
+    neighbour)`` entry per direction actually used by some
+    client->server route, in creation order (servers in topology order,
+    switches in topology order, candidates sorted). Insertion order
+    fixes every switch's audit port numbering (``switch.<sw>.port.<i>``).
+    ``Fabric._build_ports`` realises this plan; the shard channel layer
+    (:mod:`repro.shard.channel`) replays it to name a remote port's
+    audit account without holding a fabric."""
+    if tables is None:
+        tables = {spec.name: topology.next_hops_toward(spec.name)
+                  for spec in topology.server_hosts}
+    plan: Dict[Tuple[str, str], LinkSpec] = {}
+    for spec in topology.server_hosts:
+        attach_sw, link = topology.attachment(spec.name)
+        plan.setdefault((attach_sw, spec.name), link)
+        table = tables[spec.name]
+        for sw in topology.switches:
+            for nbr in table.get(sw, ()):
+                plan.setdefault((sw, nbr), topology.link_between(sw, nbr))
+    return plan
 
 
 class HostRng:
@@ -318,14 +343,7 @@ class Fabric:
         splits cut links into an egress half (local port, channel
         emitter) and an ingress half (forwarded counter + dispatch)."""
         topo = self.topology
-        plan: Dict[Tuple[str, str], LinkSpec] = {}
-        for spec in topo.server_hosts:
-            attach_sw, link = topo.attachment(spec.name)
-            plan.setdefault((attach_sw, spec.name), link)
-            table = self._tables[spec.name]
-            for sw in topo.switches:
-                for nbr in table.get(sw, ()):
-                    plan.setdefault((sw, nbr), topo.link_between(sw, nbr))
+        plan = port_plan(topo, self._tables)
         for (sw, nbr), link in plan.items():
             self._port_order.setdefault(sw, []).append(nbr)
             nbr_is_switch = nbr in self._switch_set
@@ -606,7 +624,12 @@ class Fabric:
         flow ``ordinal`` lives here)."""
         flow = self.flows_by_ordinal[ordinal]
         sender = self.senders.get(flow.flow_id)
-        if sender is None:  # pragma: no cover - faults are rejected sharded
+        if sender is None:
+            # A crashed (apps-fault) flow: its sender was popped. Under
+            # sharding the crash constraint keeps client and server in
+            # one shard, so a cross-shard ACK for a crashed flow cannot
+            # normally occur; dropping it mirrors the single kernel's
+            # senders.get miss.
             return
         exec_ = self._ack_execs[flow.flow_id]
         assert exec_ is not None  # cross-shard implies cross-domain

@@ -103,7 +103,12 @@ class TopoScenario:
                 cfg["io_buf_size"], cores=cfg["cores"])
         self.fabric = Fabric(self.topology, host_configs=host_configs,
                              seed=self.seed, scope=scope)
-        self.primary = next(iter(self.fabric.endpoints), None)
+        #: The fault plan's default target host. Computed from the
+        #: *topology* (first server), never from the scoped endpoint
+        #: dict, so every shard buckets unqualified specs identically
+        #: (on an unscoped fabric the two definitions coincide).
+        servers = self.topology.server_hosts
+        self.primary = servers[0].name if servers else None
         for name, endpoint in self.fabric.endpoints.items():
             with self.fabric.host_domain(name):
                 endpoint.install_io_arch(
@@ -120,6 +125,10 @@ class TopoScenario:
         self._crashed: Dict[str, Dict[str, _FlowRecord]] = {
             name: {} for name in self.fabric.endpoints}
         self.fault_controllers: List[FaultController] = []
+        #: ``net.channel`` specs (shard-coordinator faults), split out of
+        #: the plan at build time. No-ops on a single kernel (no cut
+        #: links); :func:`repro.shard.run_sharded` compiles them.
+        self.channel_fault_specs: tuple = ()
         self.reconciler: Optional[Reconciler] = None
         self._built = False
         self._windows: Dict[str, MeasurementWindow] = {}
@@ -148,20 +157,49 @@ class TopoScenario:
                                       sources[i % len(sources)])
         plan = fault_plan_of(self.normal)
         if plan:
-            if self.fabric.scope is not None:
-                raise ValueError(
-                    "fault plans are not supported under sharded "
-                    "execution (crash/restart and injected loss are "
-                    "whole-fabric operations; run with --shards 1)")
-            for host, host_plan in plan.split_by_host(self.primary).items():
-                controller = FaultController(
-                    self.fabric.endpoints[host], host_plan,
-                    scenario=_HostView(self, host))
-                controller.arm()
+            # net.channel specs belong to the shard coordinator's
+            # channel layer (repro.shard.channel); with one kernel there
+            # are no cut links, so they are declared no-ops here either
+            # way. Host-site specs compile into the owning host's
+            # controller — on a scoped fabric only the shard that
+            # materialises the endpoint arms it, and the arm is
+            # bracketed in the host's event domain so the sequence
+            # numbers it consumes are the ones the single kernel (and no
+            # other shard) consumes for the same controller.
+            self.channel_fault_specs, host_faults = plan.split_channel()
+            for host, host_plan in \
+                    host_faults.split_by_host(self.primary).items():
+                if not self.fabric.is_local_host(host):
+                    continue
+                self._check_faults_shard_local(host, host_plan)
+                with self.fabric.host_domain(host):
+                    controller = FaultController(
+                        self.fabric.endpoints[host], host_plan,
+                        scenario=_HostView(self, host))
+                    controller.arm()
                 self.fault_controllers.append(controller)
         self.reconciler = Reconciler(build_fabric_ledger(self.fabric))
         self._built = True
         return self
+
+    def _check_faults_shard_local(self, host: str, host_plan) -> None:
+        """Crash/restart must not straddle a shard boundary: the crash
+        stops the flow's *source* (client side) and the restart rebuilds
+        it, so both ends must live in this shard. Every other site
+        touches only the endpoint's own hardware and last-hop port."""
+        if self.fabric.scope is None:
+            return
+        if not any(spec.site == "apps" for spec in host_plan):
+            return
+        remote = sorted({rec.src for rec in self.involved[host]
+                         if rec.source is None})
+        if remote:
+            raise ValueError(
+                f"apps.crash_restart on {host!r} is not supported under "
+                f"this partition: client host(s) {remote} live in a "
+                "different shard than the server, and crash/restart "
+                "must quiesce both ends atomically. Use fewer shards "
+                "(or --shards 1) or co-locate the tenant's sources.")
 
     def _add_tenant_flow(self, tenant: Mapping[str, Any], name: str,
                          src: str, late_ok: bool = False) -> _FlowRecord:

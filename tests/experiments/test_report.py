@@ -3,7 +3,7 @@
 import pytest
 
 from repro.experiments import EXPERIMENTS, run_experiment
-from repro.experiments.report import ExperimentResult, ShapeCheck, fmt, render_table
+from repro.experiments.report import ExperimentResult, fmt, render_table
 
 
 def make_result():
@@ -66,7 +66,7 @@ def test_registry_lists_all_paper_artifacts():
     expected = {"fig04a", "fig04b", "fig09", "fig10a", "fig10b",
                 "fig11", "fig12", "table2", "table3", "table4",
                 "limits", "ablations", "lessons", "chaos", "soak",
-                "incast"}
+                "incast", "shard_chaos"}
     assert expected == set(EXPERIMENTS)
 
 

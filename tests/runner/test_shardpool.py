@@ -1,17 +1,22 @@
-"""Process-mode shard pool: runlog heartbeats and failure attribution.
+"""Process-mode shard pool: heartbeats, recovery, and teardown.
 
-Satellite contract: a wedged or dead shard must be attributable in
-``runlog.jsonl`` by shard index (heartbeat/stall/failed events), not
-surface as an opaque timeout of the whole run.
+Contracts: a wedged or dead shard must be attributable in
+``runlog.jsonl`` by shard index (heartbeat/stall/failed events); a
+killed worker is resurrected by journal replay with byte-identical
+results (``shard_restarted`` / ``shard_replay_done``); and no worker
+process or pipe fd survives a failed run.
 """
 
 import json
 
 import pytest
 
-from repro.runner.shardpool import ShardPoolConfig
+from repro.runner.shardpool import ProcessShards, ShardPoolConfig
+from repro.scenario import validate
+from repro.scenario.schema import build_topology
 from repro.scenario.templates import template
 from repro.shard import run_sharded
+from repro.topo.partition import partition
 
 
 def _events(path):
@@ -59,10 +64,63 @@ def test_runlog_heartbeats_attribute_each_shard(tmp_path):
 
 def test_timeout_failure_names_the_shard(tmp_path):
     log = tmp_path / "runlog.jsonl"
-    cfg = ShardPoolConfig(timeout_s=0.0, runlog=str(log))
+    cfg = ShardPoolConfig(timeout_s=0.0, max_restarts=0,
+                          runlog=str(log))
     with pytest.raises(RuntimeError, match=r"shard 0 failed"):
         run_sharded(_quick_spec(), 2, mode="process", pool_config=cfg)
     records = _events(log)
     failed = [r for r in records if r["event"] == "shard_failed"]
     assert failed and failed[0]["shard"] == 0
     assert "timeout" in failed[0]["error"]
+
+
+def test_worker_kill_recovers_byte_identically(tmp_path):
+    log = tmp_path / "runlog.jsonl"
+    healthy = run_sharded(_quick_spec(), 2, mode="process")
+    cfg = ShardPoolConfig(restart_backoff_s=0.0, runlog=str(log),
+                          kill_plan=((2, 1),))
+    recovered = run_sharded(_quick_spec(), 2, mode="process",
+                            pool_config=cfg)
+    assert json.dumps(recovered, sort_keys=True) == \
+        json.dumps(healthy, sort_keys=True)
+    records = _events(log)
+    restarted = [r for r in records if r["event"] == "shard_restarted"]
+    assert restarted and restarted[0]["shard"] == 1
+    assert restarted[0]["attempt"] == 1
+    replayed = [r for r in records if r["event"] == "shard_replay_done"]
+    assert replayed and replayed[0]["shard"] == 1
+    assert replayed[0]["commands"] >= 2
+    assert not any(r["event"] == "shard_failed" for r in records)
+    done = next(r for r in records if r["event"] == "shard_pool_done")
+    assert done["restarts"] == [0, 1]
+    audit = recovered["l0s0"]["audit"]
+    assert audit["ok"] is True and audit["violations"] == []
+
+
+def test_restart_budget_exhaustion_fails_the_run(tmp_path):
+    log = tmp_path / "runlog.jsonl"
+    cfg = ShardPoolConfig(restart_backoff_s=0.0, max_restarts=1,
+                          runlog=str(log),
+                          kill_plan=tuple((w, 0) for w in range(64)))
+    with pytest.raises(RuntimeError, match=r"shard 0 failed"):
+        run_sharded(_quick_spec(), 2, mode="process", pool_config=cfg)
+    records = _events(log)
+    failed = next(r for r in records if r["event"] == "shard_failed")
+    assert "restart budget" in failed["error"]
+    restarted = [r for r in records if r["event"] == "shard_restarted"]
+    assert len(restarted) == 1
+
+
+def test_failure_teardown_leaves_no_orphans():
+    normal = validate(_quick_spec())
+    plan = partition(build_topology(normal), 2)
+    pool = ProcessShards(normal, plan,
+                         config=ShardPoolConfig(max_restarts=0))
+    procs = list(pool._procs)
+    # Wedge the pool after a healthy start: zero reply budget.
+    pool.config.timeout_s = 0.0
+    with pytest.raises(RuntimeError, match="failed"):
+        pool.advance(1000.0, False, [[], []])
+    assert all(not p.is_alive() for p in procs)
+    for conn in pool._conns:
+        assert conn.closed

@@ -73,10 +73,38 @@ def test_invalid_mode_and_shard_count_rejected():
         run_sharded(spec, 2, mode="threads")
 
 
-def test_fault_plans_rejected_under_sharding():
+def _faulted_spec():
+    """Host-site faults on both server hosts: loss on l0s0's last hop,
+    a CPU slowdown window on l1s0 — each compiled by a different shard
+    under any 2/4-way partition of the 2x2 leaf-spine."""
     spec = template("all-to-all-storage")
-    spec["fault_plan"] = [{"site": "net.link", "kind": "loss",
-                           "start": 450_000.0, "duration": 1000.0,
-                           "host": "l0s0"}]
-    with pytest.raises(ValueError, match="fault plans"):
-        run_sharded(spec, 2)
+    spec["fault_plan"] = [
+        {"site": "net.link", "kind": "loss", "start": 450_000.0,
+         "duration": 100_000.0, "magnitude": 0.05, "host": "l0s0"},
+        {"site": "hw.cpu", "kind": "slowdown", "start": 500_000.0,
+         "duration": 100_000.0, "magnitude": 3.0, "host": "l1s0"},
+    ]
+    return spec
+
+
+@pytest.fixture(scope="module")
+def faulted_single(all_to_all_single):
+    payload = _payload(TopoScenario(_faulted_spec()).run())
+    # The plan must actually bite, or identity below proves nothing.
+    assert payload != all_to_all_single
+    return payload
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_host_fault_plan_sharded_is_byte_identical(faulted_single,
+                                                   shards):
+    sharded = run_sharded(_faulted_spec(), shards)
+    assert _payload(sharded) == faulted_single
+    audit = sharded["l0s0"]["audit"]
+    assert audit["ok"] is True
+    assert audit["violations"] == []
+
+
+def test_host_fault_plan_process_mode_is_byte_identical(faulted_single):
+    sharded = run_sharded(_faulted_spec(), 4, mode="process")
+    assert _payload(sharded) == faulted_single

@@ -1,0 +1,97 @@
+"""``net.channel`` faults: coordinator-layer loss/latency on cut links.
+
+The site only exists where a partition cuts links, so every behavioural
+test runs ``all-to-all-storage`` at 4 shards; determinism is pinned by
+inline == process, and the audit merge must still reconcile to zero
+violations through the synthetic ``channel_dropped`` /
+``channel_delayed`` credits.
+"""
+
+import json
+
+import pytest
+
+from repro.faults.plan import FaultSpec
+from repro.scenario.schema import build_topology
+from repro.scenario.templates import template
+from repro.shard import run_sharded
+from repro.shard.channel import ChannelFaultController
+from repro.workloads.topo_scenario import TopoScenario
+
+
+def _payload(results):
+    return json.dumps(results, sort_keys=True)
+
+
+def _channel_spec(kind, magnitude):
+    spec = template("all-to-all-storage")
+    spec["fault_plan"] = [
+        {"site": "net.channel", "kind": kind, "start": 450_000.0,
+         "duration": 100_000.0, "magnitude": magnitude}]
+    return spec
+
+
+@pytest.mark.parametrize("kind,magnitude,counter", [
+    ("loss", 0.2, "dropped"),
+    ("latency", 5_000.0, "delayed"),
+])
+def test_channel_fault_bites_and_audit_reconciles(kind, magnitude,
+                                                  counter):
+    stats = {}
+    sharded = run_sharded(_channel_spec(kind, magnitude), 4, stats=stats)
+    assert stats["channel"]["specs"] == 1
+    assert stats["channel"][counter] > 0
+    audit = sharded["l0s0"]["audit"]
+    assert audit["ok"] is True
+    assert audit["violations"] == []
+    # It must differ from the healthy run, or the site is dead code.
+    healthy = run_sharded(template("all-to-all-storage"), 4)
+    assert _payload(sharded) != _payload(healthy)
+
+
+def test_channel_fault_inline_equals_process():
+    spec = _channel_spec("loss", 0.2)
+    inline = run_sharded(spec, 4)
+    process = run_sharded(spec, 4, mode="process")
+    assert _payload(inline) == _payload(process)
+
+
+def test_channel_fault_is_noop_on_single_kernel():
+    single = TopoScenario(_channel_spec("loss", 0.5)).run()
+    healthy = TopoScenario(template("all-to-all-storage")).run()
+    assert _payload(single) == _payload(healthy)
+
+
+def test_channel_spec_validation():
+    ok = dict(site="net.channel", kind="loss", start=0.0,
+              duration=1000.0, magnitude=0.1)
+    FaultSpec(**ok)
+    with pytest.raises(ValueError, match="drop the host qualifier"):
+        FaultSpec(**{**ok, "host": "l0s0"})
+    with pytest.raises(ValueError, match="flow filters"):
+        FaultSpec(**{**ok, "flow": "kv0"})
+    with pytest.raises(ValueError, match="finite duration"):
+        FaultSpec(site="net.channel", kind="loss", magnitude=0.1)
+
+
+def test_partial_snapshots_name_the_cut_wire_accounts():
+    from repro.scenario import validate
+    normal = validate(template("all-to-all-storage"))
+    topology = build_topology(normal)
+    controller = ChannelFaultController((), normal["seed"], topology)
+    # leaf0 -> spine0 is leaf0's second egress (its server l0s0 is
+    # first), so the account index is 1 — the single-kernel numbering.
+    controller.drops.append(("leaf0", "spine0", 500_000.0))
+    controller.drops.append(("leaf0", "spine0", 2_000_000.0))  # > t_end
+    controller.delays.append(("spine0", "leaf1", 500_000.0, 1_200_000.0))
+    controller.delays.append(("spine0", "leaf1", 500_000.0, 600_000.0))
+    parts = controller.partial_snapshots(1_000_000.0)
+    assert len(parts) == 2
+    drop_part = next(p for p in parts
+                     if "channel_dropped" in p["credits"])
+    delay_part = next(p for p in parts
+                      if "channel_delayed" in p["credits"])
+    assert drop_part["credits"]["channel_dropped"] == 1.0
+    assert delay_part["credits"]["channel_delayed"] == 1.0
+    assert drop_part["account"] == "switch.leaf0.port.1.wire"
+    assert delay_part["account"] == "switch.spine0.port.1.wire"

@@ -1,0 +1,104 @@
+"""Barrier-loop edge cases in the shard coordinator.
+
+The conservative loop of ``repro.shard.coordinator._barrier_run`` has
+two boundary behaviours the byte-identity suite exercises only
+implicitly, so they are pinned directly here against a scripted
+executor:
+
+- a channel message due *exactly* at the phase target still counts as
+  pending, forcing another inclusive pass that delivers and executes it
+  inside this phase (the single kernel would run a ``t == T`` event in
+  the phase that owns ``T``);
+- a message due *strictly after* the target is never delivered in this
+  phase — it rides the undelivered inbox across the phase boundary and
+  is injected in the next phase's first window, exactly where the
+  single kernel's calendar entry would fire.
+
+A third, integration-level check runs a real scenario whose phase
+horizons deliberately do not align with the lookahead grid, so the
+warm-up -> measurement hand-off happens mid-flight with live carryover.
+"""
+
+import json
+
+from repro.shard import run_sharded
+from repro.shard.coordinator import _barrier_run
+from repro.workloads.topo_scenario import TopoScenario
+from repro.scenario.templates import template
+
+
+class ScriptedShards:
+    """Fake executor: replays scripted outboxes and records every
+    ``advance`` call's ``(horizon, inclusive, inboxes)``."""
+
+    def __init__(self, n, script):
+        self.n = n
+        self.script = list(script)
+        self.calls = []
+
+    def advance(self, horizon, inclusive, inboxes):
+        self.calls.append((horizon, inclusive,
+                           [list(box) for box in inboxes]))
+        if self.script:
+            return self.script.pop(0)
+        return [[] for _ in range(self.n)]
+
+
+def _msg(dst, when, seq):
+    return (dst, "pkt", when, seq, ("swA", "swB", ()))
+
+
+def test_message_due_exactly_at_target_is_delivered_this_phase():
+    # Shard 0's inclusive pass emits a message due exactly at T=100.
+    script = [[[_msg(1, 100.0, 7)], []]]
+    executor = ScriptedShards(2, script)
+    rounds, now, inbox = _barrier_run(
+        executor, 2, lookahead=100.0, start=0.0, target=100.0,
+        inbox=[[], []])
+    # The t == T message forces a second inclusive pass...
+    assert rounds == 2
+    assert now == 100.0
+    horizon, inclusive, boxes = executor.calls[1]
+    assert inclusive and horizon == 100.0
+    # ...which hands it to shard 1 inside this phase,
+    assert boxes[1] == [_msg(1, 100.0, 7)]
+    # leaving nothing to carry over.
+    assert inbox == [[], []]
+
+
+def test_message_past_target_carries_into_the_next_phase():
+    # Emitted during warm-up (T=100) but due at 150: must NOT be
+    # delivered before the phase boundary.
+    script = [[[], [_msg(0, 150.0, 3)]]]
+    executor = ScriptedShards(2, script)
+    rounds, now, inbox = _barrier_run(
+        executor, 2, lookahead=100.0, start=0.0, target=100.0,
+        inbox=[[], []])
+    assert rounds == 1
+    assert inbox == [[_msg(0, 150.0, 3)], []]
+    assert all(not any(boxes) for _, _, boxes in executor.calls)
+
+    # The measurement phase opens with that inbox: its very first
+    # window injects the carried message into shard 0.
+    _rounds2, _now2, inbox2 = _barrier_run(
+        executor, 2, lookahead=100.0, start=now, target=200.0,
+        inbox=inbox)
+    horizon, inclusive, boxes = executor.calls[1]
+    assert (horizon, inclusive) == (200.0, True)
+    assert boxes[0] == [_msg(0, 150.0, 3)]
+    assert inbox2 == [[], []]
+
+
+def test_misaligned_phase_horizons_stay_byte_identical():
+    # Horizons chosen so neither t_warm nor t_end is a multiple of the
+    # cut-link lookahead: both phase boundaries land mid-window with
+    # cross-shard traffic in flight, exercising the carryover path of
+    # the real coordinator end to end.
+    spec = template("all-to-all-storage")
+    spec["measure"] = {"warmup_us": 23.7, "duration_us": 31.3}
+    single = TopoScenario(spec).run()
+    sharded = run_sharded(spec, 4)
+    assert json.dumps(sharded, sort_keys=True) == \
+        json.dumps(single, sort_keys=True)
+    audit = sharded["l0s0"]["audit"]
+    assert audit["ok"] is True and audit["violations"] == []
