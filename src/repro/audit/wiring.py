@@ -88,6 +88,7 @@ def _register_nic(ledger: Union[Ledger, _PrefixedLedger], nic: Nic,
                              bounded=True)
     handler.debit("accepted", arch.rx_accepted)
     handler.debit("arch_dropped", arch.rx_dropped)
+    handler.debit("shed", arch.rx_shed)
     handler.debit("duplicates",
                   lambda: sum(rx.duplicates.value
                               for rx in arch._all_rx.values()))

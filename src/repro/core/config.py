@@ -93,3 +93,16 @@ class CeioConfig:
     #: spill the packet to host DRAM (cache-bypassing DMA write) instead
     #: of dropping it. Off = drop on overflow.
     spill_to_dram: bool = True
+    #: Overload guardrail (open-loop demand): shed packets at admission
+    #: when the flow's SW ring or elastic backlog exceeds the limits below.
+    #: A shed packet is ACKed unmarked (the transport completes the
+    #: message; the *application* observes the loss), so shedding caps
+    #: NIC/host queueing instead of translating overload into unbounded
+    #: standing queues. Off = the paper's closed-loop default.
+    admission_control: bool = False
+    #: SW-ring depth (delivered-but-unpopped records) above which new
+    #: packets of the flow are shed.
+    admission_ring_limit: int = 256
+    #: Elastic-buffer backlog bytes above which new packets are shed
+    #: (bounds slow-path sojourn — and thus tail latency — under overload).
+    admission_slow_bytes_limit: int = 96 * 1024

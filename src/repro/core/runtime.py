@@ -26,6 +26,7 @@ from ..io_arch.base import FlowRx, IOArchitecture, RxRecord
 from ..net.packet import Flow, Packet
 from ..sim import SimulationError
 from ..sim.stats import Counter
+from .admission import AdmissionController
 from .config import CeioConfig
 from .credit import CreditController
 from .driver import CeioDriver
@@ -105,6 +106,12 @@ class CeioArchitecture(IOArchitecture):
         self.credit_reclaimed = Counter("ceio.credit_reclaimed")
         self.swring_holes = Counter("ceio.swring_holes")
         self.spilled = Counter("ceio.spilled")
+        #: Overload guardrail (open-loop demand): shed at admission when
+        #: per-flow queues exceed the configured limits. None when off.
+        self.admission: Optional[AdmissionController] = (
+            AdmissionController(self.config.admission_ring_limit,
+                                self.config.admission_slow_bytes_limit)
+            if self.config.admission_control else None)
         host.nic.arm.spawn_loop(self._control_tick,
                                 period=self.poll_interval, name="ceio-ctl")
         host.nic.arm.spawn_loop(self._reactivate_tick,
@@ -160,6 +167,7 @@ class CeioArchitecture(IOArchitecture):
     # NIC data path
     # ------------------------------------------------------------------
     def on_packet(self, packet: Packet):
+        self.rx_offered.add(1)
         fid = packet.flow.flow_id
         state = self.states.get(fid)
         rx = self.flows.get(fid)
@@ -167,6 +175,10 @@ class CeioArchitecture(IOArchitecture):
             self._drop(packet, rx)
             return
         if self._dedup(packet, rx):
+            return
+        if self.admission is not None and not self.admission.admit(
+                len(state.swring), self.buffer_manager.slow_bytes(fid)):
+            self._shed(packet, rx)
             return
         action = self.steering.match(fid, packet.size, self.sim.now)
         self._touched.add(fid)
@@ -634,6 +646,8 @@ class CeioArchitecture(IOArchitecture):
         elastic.credit("occupancy",
                        lambda: sum(len(b.entries)
                                    for b in bm.buffers.values()))
+
+        self._register_admission_account(ledger)
 
 
 # Register with the architecture registry (done here rather than in

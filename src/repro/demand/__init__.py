@@ -1,0 +1,31 @@
+"""Seeded, time-varying open-loop demand models (the million-user
+workload layer).
+
+Three pieces, each lazy and reproducible from named RNG streams:
+
+- :mod:`repro.demand.profiles` — rate curves over simulation time
+  (steady / diurnal / flash-crowd / piecewise windows);
+- :mod:`repro.demand.arrivals` — arrival processes over those curves
+  (thinned non-homogeneous Poisson, heavy-tailed sessions), yielded one
+  timestamp at a time so huge horizons are O(1) memory;
+- :mod:`repro.demand.source` — the :class:`DemandSource` that replays an
+  arrival stream into a transport sender.
+
+Scenarios declare demand in the versioned ``demand`` block
+(:mod:`repro.scenario.schema`); ``TopoScenario`` compiles it into one
+``DemandSource`` per flow plus an SLO tracker per server host. See
+``docs/WORKLOADS.md``.
+"""
+
+from .arrivals import poisson_times, session_times
+from .profiles import (MPPS_PER_NS, DiurnalProfile, FlashCrowdProfile,
+                       PROFILE_KINDS, RateProfile, ScaledProfile,
+                       SteadyProfile, WindowsProfile, profile_from_dict)
+from .source import DemandSource
+
+__all__ = [
+    "MPPS_PER_NS", "PROFILE_KINDS", "RateProfile", "SteadyProfile",
+    "DiurnalProfile", "FlashCrowdProfile", "WindowsProfile",
+    "ScaledProfile", "profile_from_dict", "poisson_times", "session_times",
+    "DemandSource",
+]

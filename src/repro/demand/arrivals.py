@@ -1,0 +1,103 @@
+"""Lazy arrival processes over time-varying rate profiles.
+
+Both generators here are *lazy*: they yield timestamps one at a time,
+drawing from the supplied seeded RNG stream only as they advance, so a
+million-user horizon never materialises a list (the determinism contract
+of ``docs/WORKLOADS.md``: the timestamp sequence is a pure function of
+``(stream, profile, parameters)`` — identical across ``--jobs`` counts
+and shard partitions because each source owns its named stream).
+
+- :func:`poisson_times` — non-homogeneous Poisson via Lewis thinning:
+  candidates at the profile's peak rate, accepted with probability
+  ``rate(t) / peak``. Exactly two RNG draws per candidate whether or not
+  it is accepted, which is what makes the sequence reproducible.
+- :func:`session_times` — heavy-tailed sessions: session *starts* form a
+  thinned Poisson process, each session emits a Pareto-distributed
+  number of messages at exponential intra-session gaps, and the merged
+  message stream is produced in timestamp order by a lazy heap merge.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, List, Optional, Tuple
+
+from .profiles import RateProfile, ScaledProfile
+
+__all__ = ["poisson_times", "session_times"]
+
+
+def poisson_times(rng, profile: RateProfile,
+                  horizon: Optional[float] = None) -> Iterator[float]:
+    """Yield arrival timestamps (ns) of a non-homogeneous Poisson
+    process with instantaneous rate ``profile.rate(t)``.
+
+    ``horizon`` bounds the stream (exclusive); ``None`` streams forever
+    (the driving source stops it). Lewis thinning: the candidate clock
+    always advances at ``profile.peak()``, so a candidate costs two
+    draws (``expovariate`` + ``random``) regardless of acceptance —
+    consuming N arrivals leaves the stream at a position determined only
+    by the profile and N.
+    """
+    peak = profile.peak()
+    if peak <= 0:
+        raise ValueError("profile peak rate must be positive")
+    t = 0.0
+    while True:
+        t += rng.expovariate(peak)
+        if horizon is not None and t >= horizon:
+            return
+        if rng.random() * peak < profile.rate(t):
+            yield t
+
+
+def session_times(rng, profile: RateProfile,
+                  mean_messages: float = 20.0, shape: float = 1.5,
+                  intra_gap_ns: float = 2000.0,
+                  horizon: Optional[float] = None) -> Iterator[float]:
+    """Yield message timestamps (ns) of a heavy-tailed session process.
+
+    Sessions begin as a thinned Poisson process at rate
+    ``profile.rate(t) / mean_messages`` (so the long-run *message* rate
+    tracks the profile); each session issues ``K`` messages where ``K``
+    is Pareto with the given ``shape`` and mean ``mean_messages``, with
+    i.i.d. exponential gaps of mean ``intra_gap_ns`` between them. The
+    merged stream is monotone: a heap of live sessions competes with the
+    next session start, and only the globally earliest event is emitted.
+
+    All draws come from the single ``rng`` stream; the interleaving of
+    draws is a deterministic function of previously drawn values, so the
+    sequence is reproducible like :func:`poisson_times`.
+    """
+    if mean_messages < 1:
+        raise ValueError("mean_messages must be >= 1")
+    if shape <= 1:
+        raise ValueError("shape must exceed 1 for a finite mean")
+    if intra_gap_ns <= 0:
+        raise ValueError("intra_gap_ns must be positive")
+    starts = poisson_times(rng, ScaledProfile(profile, 1.0 / mean_messages),
+                           horizon)
+    pareto_scale = mean_messages * (shape - 1.0) / shape
+    gap_rate = 1.0 / intra_gap_ns
+    # (next message time, birth serial, messages remaining after it).
+    # The serial breaks timestamp ties deterministically (FIFO by birth).
+    heap: List[Tuple[float, int, int]] = []
+    serial = 0
+    next_start = next(starts, None)
+    while heap or next_start is not None:
+        if next_start is not None and (not heap
+                                       or next_start <= heap[0][0]):
+            remaining = max(
+                1, int(pareto_scale / (rng.random() ** (1.0 / shape))))
+            heapq.heappush(heap, (next_start, serial, remaining - 1))
+            serial += 1
+            next_start = next(starts, None)
+            continue
+        t, born, remaining = heapq.heappop(heap)
+        if horizon is not None and t >= horizon:
+            # Sessions never straddle the horizon: drop the remainder.
+            continue
+        yield t
+        if remaining > 0:
+            heapq.heappush(
+                heap, (t + rng.expovariate(gap_rate), born, remaining - 1))

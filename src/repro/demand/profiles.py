@@ -1,0 +1,261 @@
+"""Time-varying offered-load profiles for open-loop demand.
+
+A :class:`RateProfile` maps simulation time (ns) to an instantaneous
+message rate (messages per ns). Profiles are pure functions — they draw
+no randomness and hold no mutable state — so the same profile object can
+back every flow of a tenant and every shard of a sharded run. The
+stochastic part (turning a rate curve into arrival timestamps) lives in
+:mod:`repro.demand.arrivals`.
+
+Four kinds ship (see ``docs/WORKLOADS.md`` for the catalog):
+
+==============  ======================================================
+``steady``      constant rate (the open-loop baseline)
+``diurnal``     sinusoidal day/night swing around a base rate
+``flash_crowd`` ramp to a peak, hold, decay back (the overload stress)
+``windows``     piecewise-constant rate over disjoint time windows
+==============  ======================================================
+
+Every profile round-trips through ``to_dict``/``from_dict`` using the
+scenario schema's field names (rates in Mpps, times in µs), which is
+what the versioned ``demand`` block of :mod:`repro.scenario` validates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from ..sim.units import US
+
+__all__ = ["MPPS_PER_NS", "RateProfile", "SteadyProfile", "DiurnalProfile",
+           "FlashCrowdProfile", "WindowsProfile", "ScaledProfile",
+           "PROFILE_KINDS", "profile_from_dict"]
+
+#: 1 Mpps expressed in messages per nanosecond.
+MPPS_PER_NS = 1e-3
+
+
+class RateProfile:
+    """Base class: instantaneous rate and a finite upper bound.
+
+    ``peak()`` must bound ``rate(t)`` for every t — the thinning sampler
+    in :mod:`repro.demand.arrivals` proposes candidates at the peak rate
+    and accepts with probability ``rate(t) / peak``.
+    """
+
+    kind = ""
+
+    def rate(self, t: float) -> float:
+        """Messages per ns offered at simulation time ``t`` (ns)."""
+        raise NotImplementedError
+
+    def peak(self) -> float:
+        """A tight upper bound on ``rate`` over all time, msgs/ns."""
+        raise NotImplementedError
+
+    def to_dict(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+
+class SteadyProfile(RateProfile):
+    """Constant offered load."""
+
+    kind = "steady"
+
+    def __init__(self, rate_mpps: float):
+        if rate_mpps <= 0:
+            raise ValueError("rate_mpps must be positive")
+        self.rate_mpps = float(rate_mpps)
+        self._rate = self.rate_mpps * MPPS_PER_NS
+
+    def rate(self, t: float) -> float:
+        return self._rate
+
+    def peak(self) -> float:
+        return self._rate
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "rate_mpps": self.rate_mpps}
+
+
+class DiurnalProfile(RateProfile):
+    """Sinusoidal swing around a base rate: the day/night load cycle
+    compressed to simulation horizons.
+
+    ``rate(t) = base * (1 + amplitude * sin(2π (t + phase) / period))``
+    with ``0 <= amplitude < 1`` so the rate never reaches zero (a
+    Poisson process at rate 0 would stall the thinning sampler's
+    acceptance, not its candidate stream — still correct, just wasteful).
+    """
+
+    kind = "diurnal"
+
+    def __init__(self, base_mpps: float, amplitude: float,
+                 period_us: float, phase_us: float = 0.0):
+        if base_mpps <= 0:
+            raise ValueError("base_mpps must be positive")
+        if not 0.0 <= amplitude < 1.0:
+            raise ValueError("amplitude must be in [0, 1)")
+        if period_us <= 0:
+            raise ValueError("period_us must be positive")
+        self.base_mpps = float(base_mpps)
+        self.amplitude = float(amplitude)
+        self.period_us = float(period_us)
+        self.phase_us = float(phase_us)
+        self._base = self.base_mpps * MPPS_PER_NS
+        self._omega = 2.0 * math.pi / (self.period_us * US)
+        self._phase = self.phase_us * US
+
+    def rate(self, t: float) -> float:
+        return self._base * (1.0 + self.amplitude
+                             * math.sin(self._omega * (t + self._phase)))
+
+    def peak(self) -> float:
+        return self._base * (1.0 + self.amplitude)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "base_mpps": self.base_mpps,
+                "amplitude": self.amplitude, "period_us": self.period_us,
+                "phase_us": self.phase_us}
+
+
+class FlashCrowdProfile(RateProfile):
+    """Base load, then a linear ramp to a peak, a hold, and a linear
+    decay back — the canonical overload stress (§ capacity experiments).
+    """
+
+    kind = "flash_crowd"
+
+    def __init__(self, base_mpps: float, peak_mpps: float, start_us: float,
+                 ramp_us: float, hold_us: float, decay_us: float):
+        if base_mpps <= 0:
+            raise ValueError("base_mpps must be positive")
+        if peak_mpps < base_mpps:
+            raise ValueError("peak_mpps must be >= base_mpps")
+        if ramp_us <= 0 or decay_us <= 0:
+            raise ValueError("ramp_us and decay_us must be positive")
+        if start_us < 0 or hold_us < 0:
+            raise ValueError("start_us and hold_us must be non-negative")
+        self.base_mpps = float(base_mpps)
+        self.peak_mpps = float(peak_mpps)
+        self.start_us = float(start_us)
+        self.ramp_us = float(ramp_us)
+        self.hold_us = float(hold_us)
+        self.decay_us = float(decay_us)
+        self._base = self.base_mpps * MPPS_PER_NS
+        self._peak = self.peak_mpps * MPPS_PER_NS
+        self._t0 = self.start_us * US
+        self._t1 = self._t0 + self.ramp_us * US
+        self._t2 = self._t1 + self.hold_us * US
+        self._t3 = self._t2 + self.decay_us * US
+
+    def rate(self, t: float) -> float:
+        if t <= self._t0 or t >= self._t3:
+            return self._base
+        if t < self._t1:
+            frac = (t - self._t0) / (self._t1 - self._t0)
+            return self._base + (self._peak - self._base) * frac
+        if t <= self._t2:
+            return self._peak
+        frac = (self._t3 - t) / (self._t3 - self._t2)
+        return self._base + (self._peak - self._base) * frac
+
+    def peak(self) -> float:
+        return self._peak
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "base_mpps": self.base_mpps,
+                "peak_mpps": self.peak_mpps, "start_us": self.start_us,
+                "ramp_us": self.ramp_us, "hold_us": self.hold_us,
+                "decay_us": self.decay_us}
+
+
+class WindowsProfile(RateProfile):
+    """Piecewise-constant rate over disjoint ``[start, end)`` windows;
+    zero outside every window. Windows must not overlap (the scenario
+    schema rejects overlapping ones path-addressed)."""
+
+    kind = "windows"
+
+    def __init__(self, windows: Sequence[Tuple[float, float, float]]):
+        """``windows``: (start_us, end_us, rate_mpps) triples."""
+        if not windows:
+            raise ValueError("windows must be non-empty")
+        ordered = sorted((float(s), float(e), float(r))
+                         for s, e, r in windows)
+        prev_end = None
+        for start, end, rate in ordered:
+            if end <= start:
+                raise ValueError("window end must exceed its start")
+            if rate < 0:
+                raise ValueError("window rate must be non-negative")
+            if prev_end is not None and start < prev_end:
+                raise ValueError("windows must not overlap")
+            prev_end = end
+        if all(rate == 0.0 for _, _, rate in ordered):
+            raise ValueError("at least one window needs a positive rate")
+        self.windows: List[Tuple[float, float, float]] = ordered
+
+    def rate(self, t: float) -> float:
+        for start, end, rate in self.windows:
+            if start * US <= t < end * US:
+                return rate * MPPS_PER_NS
+        return 0.0
+
+    def peak(self) -> float:
+        return max(rate for _, _, rate in self.windows) * MPPS_PER_NS
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind,
+                "windows": [{"start_us": s, "end_us": e, "rate_mpps": r}
+                            for s, e, r in self.windows]}
+
+
+class ScaledProfile(RateProfile):
+    """A profile scaled by a constant factor — how a tenant-aggregate
+    rate becomes a per-flow rate (factor = 1 / flows)."""
+
+    kind = "scaled"
+
+    def __init__(self, inner: RateProfile, factor: float):
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        self.inner = inner
+        self.factor = float(factor)
+
+    def rate(self, t: float) -> float:
+        return self.inner.rate(t) * self.factor
+
+    def peak(self) -> float:
+        return self.inner.peak() * self.factor
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "factor": self.factor,
+                "inner": self.inner.to_dict()}
+
+
+PROFILE_KINDS: Tuple[str, ...] = ("steady", "diurnal", "flash_crowd",
+                                  "windows")
+
+
+def profile_from_dict(data: Mapping[str, Any]) -> RateProfile:
+    """Build a profile from its schema dict (see the ``demand`` block of
+    :mod:`repro.scenario.schema`; raises ``ValueError`` on bad shapes —
+    the schema validates first and reports path-addressed errors)."""
+    kind = data.get("kind")
+    if kind == "steady":
+        return SteadyProfile(data["rate_mpps"])
+    if kind == "diurnal":
+        return DiurnalProfile(data["base_mpps"], data["amplitude"],
+                              data["period_us"],
+                              data.get("phase_us", 0.0))
+    if kind == "flash_crowd":
+        return FlashCrowdProfile(data["base_mpps"], data["peak_mpps"],
+                                 data["start_us"], data["ramp_us"],
+                                 data["hold_us"], data["decay_us"])
+    if kind == "windows":
+        return WindowsProfile([(w["start_us"], w["end_us"], w["rate_mpps"])
+                               for w in data["windows"]])
+    raise ValueError(f"unknown profile kind {kind!r}; "
+                     f"choose from {list(PROFILE_KINDS)}")

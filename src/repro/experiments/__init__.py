@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional
 
 from . import (
     ablations,
+    capacity,
     chaos,
     dynamic,
     fig09,
@@ -93,6 +94,10 @@ _SPECS: List[ExperimentSpec] = [
                  "CEIO fast/slow path bandwidth vs raw ib_write_bw"),
     _module_spec("fig12", fig12,
                  "Aggregate throughput under UD flow churn (512B echo)"),
+    _module_spec("capacity", capacity,
+                 "SLO-preserving capacity search (open-loop demand) + "
+                 "flash-crowd admission/shedding guardrails "
+                 "(repro.demand)"),
     _module_spec("incast", incast,
                  "Incast fan-in sweep: N clients x arch on the star "
                  "topology (repro.topo / repro.scenario)"),

@@ -40,6 +40,14 @@ ARCHES = ["ceio", "baseline", "shring", "hostcc", "mpq"]
 N_QUICK = 50
 N_FULL = 120
 
+#: Open-loop demand points appended after the closed-loop sample, drawn
+#: from their own ``soak.demand`` stream so the historical ``soak.sampler``
+#: draws (and every cached closed-loop point) are byte-identical.
+N_DEMAND_QUICK = 10
+N_DEMAND_FULL = 24
+_DEMAND_PROFILES = ["steady", "diurnal", "flash_crowd"]
+_DEMAND_ARRIVALS = ["poisson", "sessions"]
+
 #: Every point simulates warm-up plus one measured window; faults open
 #: inside that span (and may still be open at end-of-run — conservation
 #: must hold either way).
@@ -104,10 +112,101 @@ def points(quick: bool = True, seed: Optional[int] = None) -> List[Point]:
             "soak", _FN, params, None, pt_seed,
             label=f"p{index:03d}.{arch}.f{len(plan)}",
             faults=plan.canonical()))
+    pts.extend(_demand_points(quick, seed))
     return pts
 
 
+def _demand_profile(rng, kind: str) -> Dict[str, Any]:
+    base = round(2.0 + 14.0 * rng.random(), 2)
+    if kind == "steady":
+        return {"kind": "steady", "rate_mpps": base}
+    if kind == "diurnal":
+        return {"kind": "diurnal", "base_mpps": base,
+                "amplitude": round(0.2 + 0.6 * rng.random(), 2),
+                "period_us": float(rng.randrange(60, 160)),
+                "phase_us": float(rng.randrange(0, 50))}
+    return {"kind": "flash_crowd", "base_mpps": base,
+            "peak_mpps": round(base * (2.0 + 2.0 * rng.random()), 2),
+            "start_us": float(rng.randrange(120, 200)),
+            "ramp_us": 25.0, "hold_us": 75.0, "decay_us": 25.0}
+
+
+def _demand_points(quick: bool, seed: Optional[int]) -> List[Point]:
+    """Open-loop invariant points: demand-driven scenarios where the
+    admission account must reconcile (offered == delivered + shed +
+    dropped) even when guardrails actively shed mid-run."""
+    rng = RngRegistry(DEFAULT_SEED if seed is None
+                      else seed).stream("soak.demand")
+    count = N_DEMAND_QUICK if quick else N_DEMAND_FULL
+    pts: List[Point] = []
+    for index in range(count):
+        if index == 0:
+            # Every sample exercises the guarded path at least once:
+            # admission reconciliation (offered == delivered + shed +
+            # dropped) is the invariant this family exists to soak.
+            arch, guarded = "ceio", True
+        else:
+            arch = ARCHES[rng.randrange(len(ARCHES))]
+            guarded = arch == "ceio" and rng.random() < 0.5
+        kind = _DEMAND_PROFILES[rng.randrange(len(_DEMAND_PROFILES))]
+        arrivals = _DEMAND_ARRIVALS[rng.randrange(len(_DEMAND_ARRIVALS))]
+        params = {
+            "mode": "demand",
+            "arch": arch,
+            "flows": rng.randrange(2, 5),
+            "profile": _demand_profile(rng, kind),
+            "arrivals": arrivals,
+            "guarded": guarded,
+        }
+        pt_seed = rng.randrange(1 << 31)
+        pts.append(make_point(
+            "soak", _FN, params, None, pt_seed,
+            label=f"d{index:03d}.{arch}.{kind}"
+                  + (".adm" if guarded else "")))
+    return pts
+
+
+def _run_demand_point(params: Mapping[str, Any],
+                      seed: int) -> Dict[str, Any]:
+    from ..workloads.topo_scenario import compile_scenario
+    host: Dict[str, Any] = {"arch": params["arch"]}
+    if params["guarded"]:
+        host["ceio"] = {"admission_control": True,
+                        "admission_ring_limit": 64}
+    tenant: Dict[str, Any] = {"profile": "p0"}
+    if params["arrivals"] == "sessions":
+        tenant.update({"arrivals": "sessions", "mean_messages": 16.0,
+                       "shape": 1.5, "intra_gap_us": 2.0})
+    spec = {
+        "version": 1,
+        "name": "soak-demand",
+        "seed": seed,
+        "topology": {"kind": "star",
+                     "params": {"n_clients": 4, "n_servers": 1}},
+        "hosts": {"*": host},
+        "tenants": [{"name": "kv", "workload": "kvstore", "host": "s0",
+                     "flows": params["flows"], "payload": 144}],
+        "demand": {
+            "window_us": 50.0,
+            "profiles": {"p0": dict(params["profile"])},
+            "tenants": {"kv": tenant},
+        },
+        "measure": {"warmup_us": WARMUP / US,
+                    "duration_us": DURATION / US},
+    }
+    measurement = compile_scenario(spec).run_measure()["s0"]
+    audit = measurement.audit or {}
+    return {
+        "mpps": measurement.total_mpps,
+        "dropped": measurement.dropped,
+        "checked": audit.get("checked", 0),
+        "violations": [v["message"] for v in audit.get("violations", ())],
+    }
+
+
 def run_point(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    if params.get("mode") == "demand":
+        return _run_demand_point(params, seed)
     plan = FaultPlan.from_dicts(params["faults"])
     config = ScenarioConfig(
         arch=params["arch"], scale=8,
@@ -145,7 +244,7 @@ def collect(results: Mapping[str, Any], quick: bool = True,
             "points": 0, "faulted": 0, "checks": 0, "violations": 0,
             "mpps": 0.0})
         row["points"] += 1
-        row["faulted"] += 1 if point.params["faults"] else 0
+        row["faulted"] += 1 if point.params.get("faults") else 0
         row["checks"] += value["checked"]
         row["violations"] += len(value["violations"])
         row["mpps"] += value["mpps"]
@@ -174,6 +273,13 @@ def collect(results: Mapping[str, Any], quick: bool = True,
         "auditing was armed on every point",
         all(results[p.point_id]["checked"] > 0 for p in pts),
         "each point reports a non-empty end-of-run reconciliation")
+    demand = [p for p in pts if p.params.get("mode") == "demand"]
+    guarded = sum(1 for p in demand if p.params["guarded"])
+    result.check(
+        "sample exercises open-loop demand scenarios",
+        len(demand) > 0 and guarded > 0,
+        f"{len(demand)} demand points ({guarded} with admission "
+        f"control armed)")
     return result
 
 

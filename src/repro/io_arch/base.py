@@ -64,9 +64,14 @@ class FlowRx:
         self.delivered = Counter(f"{flow.name}.delivered")
         self.dropped = Counter(f"{flow.name}.rx_dropped")
         self.duplicates = Counter(f"{flow.name}.duplicates")
+        self.shed = Counter(f"{flow.name}.shed")
         self.processed = Counter(f"{flow.name}.processed")
         self.processed_bytes = Counter(f"{flow.name}.processed_bytes")
         self.latency = Histogram(f"{flow.name}.latency")
+        #: Open-loop flows measure latency from message *submission*
+        #: (set by the scenario compiler for demand-driven tenants) so
+        #: sender-side queueing under overload shows in the tail.
+        self.latency_from_submit = False
         # Receiver-side duplicate suppression: cumulative high-water mark
         # plus the out-of-order accepted set above it.
         self._acc_upto = -1
@@ -96,9 +101,12 @@ class FlowRx:
         """
         self.processed.add(1)
         self.processed_bytes.add(record.packet.payload)
-        origin = record.packet.first_send_time
-        if origin < 0:
-            origin = record.packet.send_time
+        if self.latency_from_submit and record.packet.submit_time >= 0:
+            origin = record.packet.submit_time
+        else:
+            origin = record.packet.first_send_time
+            if origin < 0:
+                origin = record.packet.send_time
         self.latency.record(max(1.0, now - origin))
 
 
@@ -114,8 +122,17 @@ class IOArchitecture:
         #: Set by the testbed: callable(packet, extra_mark=False) that ACKs
         #: an accepted packet back to its sender.
         self.ack: Optional[Callable] = None
+        #: Packets this architecture was asked to place (counted at the
+        #: top of every ``on_packet`` and on MAC tail drops), balanced
+        #: against accepted + dropped + shed + duplicates by the
+        #: ``arch.admission`` audit account.
+        self.rx_offered = Counter(f"{self.name}.offered")
         self.rx_accepted = Counter(f"{self.name}.accepted")
         self.rx_dropped = Counter(f"{self.name}.dropped")
+        #: Packets deliberately load-shed by admission control (ACKed so
+        #: the sender moves on, never delivered). Zero for architectures
+        #: without guardrails.
+        self.rx_shed = Counter(f"{self.name}.shed")
         # Conservation meters (repro.audit). ``_all_rx`` retains per-flow
         # state across unregister_flow so flow sums stay conserved when a
         # worker crashes mid-run (orphan deliveries still mutate it).
@@ -155,6 +172,7 @@ class IOArchitecture:
     # ------------------------------------------------------------------
     def on_packet(self, packet: Packet):
         """Default data path: take a descriptor, DMA with DDIO, deliver."""
+        self.rx_offered.add(1)
         rx = self.flows.get(packet.flow.flow_id)
         if rx is None or rx.descriptors_free <= 0:
             self._drop(packet, rx)
@@ -176,6 +194,9 @@ class IOArchitecture:
 
     def on_drop(self, packet: Packet) -> None:
         """MAC-buffer tail drop notification (no ACK => sender sees loss)."""
+        # Counted offered: a MAC-dropped packet never reaches on_packet,
+        # but it was offered to this receive stack all the same.
+        self.rx_offered.add(1)
         rx = self.flows.get(packet.flow.flow_id)
         if rx is not None:
             rx.dropped.add(1)
@@ -226,6 +247,19 @@ class IOArchitecture:
         if rx is not None:
             rx.dropped.add(1)
         # No ACK: the sender's CCA discovers the loss.
+
+    def _shed(self, packet: Packet, rx: Optional[FlowRx]) -> None:
+        """Load-shed an admitted-for-decision packet: ACK it *unmarked*
+        so the sender completes the message and does not retransmit (or
+        back off below link rate), but never spend a descriptor, a DMA
+        write, or DDIO occupancy on it. The deliberate counterpart of
+        :meth:`_drop` — metered separately so offered load reconciles as
+        accepted + dropped + shed + duplicates."""
+        self.rx_shed.add(1)
+        if rx is not None:
+            rx.shed.add(1)
+        if self.ack is not None:
+            self.ack(packet)
 
     def _accept(self, packet: Packet, extra_mark: bool = False) -> None:
         self.rx_accepted.add(1)
@@ -347,6 +381,27 @@ class IOArchitecture:
         desc.debit("accepted", self.rx_accepted)
         desc.credit("released", self.released_records)
         desc.credit("in_use", lambda: sum(rx.in_use for rx in rxs.values()))
+
+        self._register_admission_account(ledger)
+
+    def _register_admission_account(self, ledger) -> None:
+        """``arch.admission``: every packet offered to the receive stack
+        is accepted, dropped, deliberately shed, or a suppressed
+        duplicate — the overload-guardrail balance (offered == delivered
+        + shed + dropped reconciles through ``arch.delivery``). Bounded
+        by the one packet that may be mid-decision inside the firmware
+        handler."""
+        rxs = self._all_rx
+        admission = ledger.account("arch.admission", "packets",
+                                   barrier_safe=True, bounded=True)
+        admission.debit("offered", self.rx_offered)
+        admission.credit("accepted", self.rx_accepted)
+        admission.credit("dropped", self.rx_dropped)
+        admission.credit("shed", self.rx_shed)
+        admission.credit("duplicates",
+                         lambda: sum(rx.duplicates.value
+                                     for rx in rxs.values()))
+        admission.slack("in_handler", (self.host.nic, "handler_inflight"))
 
     def _audit_ring_occupancy(self) -> int:
         """Delivered-but-unpopped records (shared-ring archs override)."""

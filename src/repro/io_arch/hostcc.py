@@ -77,6 +77,7 @@ class HostccArch(IOArchitecture):
         return self._congested
 
     def on_packet(self, packet: Packet):
+        self.rx_offered.add(1)
         rx = self.flows.get(packet.flow.flow_id)
         if rx is None or rx.descriptors_free <= 0:
             self._drop(packet, rx)

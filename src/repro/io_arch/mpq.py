@@ -77,6 +77,7 @@ class MpqArch(IOArchitecture):
                    * self.config.high_budget_fraction)
 
     def on_packet(self, packet: Packet):
+        self.rx_offered.add(1)
         fid = packet.flow.flow_id
         rx = self.flows.get(fid)
         if rx is None or rx.descriptors_free <= 0:

@@ -101,6 +101,7 @@ class ShringArch(IOArchitecture):
         return self.config.dispatch_cycles
 
     def on_packet(self, packet: Packet):
+        self.rx_offered.add(1)
         rx = self.flows.get(packet.flow.flow_id)
         if rx is None or self.shared_free <= 0:
             self.ring_full_drops.add(1)

@@ -33,6 +33,7 @@ SIM_PACKAGES: Tuple[str, ...] = (
     "repro.apps",
     "repro.frameworks",
     "repro.workloads",
+    "repro.demand",
     "repro.topo",
     "repro.scenario",
     "repro.shard",

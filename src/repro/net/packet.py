@@ -33,8 +33,8 @@ class Packet:
 
     __slots__ = ("flow", "seq", "size", "payload", "message_id",
                  "last_in_message", "ecn_marked", "send_time",
-                 "first_send_time", "arrival_time", "delivered_time",
-                 "retransmitted")
+                 "first_send_time", "submit_time", "arrival_time",
+                 "delivered_time", "retransmitted")
 
     def __init__(self, flow: "Flow", seq: int, payload: int,
                  message_id: int = 0, last_in_message: bool = False):
@@ -47,6 +47,11 @@ class Packet:
         self.ecn_marked = False
         self.send_time: float = 0.0        # last (re)transmission
         self.first_send_time: float = -1.0  # original transmission
+        #: When the application submitted the owning message (-1 until
+        #: stamped by :meth:`Message.packets`). Open-loop latency is
+        #: measured from here so sender-side queueing under overload is
+        #: not coordinated-omission'd away.
+        self.submit_time: float = -1.0
         self.arrival_time: float = 0.0     # at the receiver NIC MAC
         self.delivered_time: float = 0.0   # visible to host software
         self.retransmitted = False
@@ -66,6 +71,7 @@ class Packet:
         twin.ecn_marked = self.ecn_marked
         twin.send_time = self.send_time
         twin.first_send_time = self.first_send_time
+        twin.submit_time = self.submit_time
         twin.arrival_time = self.arrival_time
         twin.delivered_time = self.delivered_time
         twin.retransmitted = self.retransmitted
@@ -102,10 +108,17 @@ class Message:
         return self.payload * self.count
 
     def packets(self, flow: "Flow", seq_start: int) -> List[Packet]:
-        return [Packet(flow, seq_start + i, self.payload,
-                       message_id=self.message_id,
-                       last_in_message=(i == self.count - 1))
-                for i in range(self.count)]
+        out = []
+        for i in range(self.count):
+            packet = Packet(flow, seq_start + i, self.payload,
+                            message_id=self.message_id,
+                            last_in_message=(i == self.count - 1))
+            # Senders stamp submit_time before building packets
+            # (DctcpSender.submit_message), so sojourn-from-submission
+            # latency is measurable per packet.
+            packet.submit_time = self.submit_time
+            out.append(packet)
+        return out
 
 
 class Flow:

@@ -85,6 +85,27 @@ _MEASURE_DEFAULTS: Tuple[Tuple[str, Any], ...] = (
     ("duration_us", 600.0),
 )
 
+#: Per-host CEIO override knobs (overload guardrails). The ``ceio`` host
+#: key is OMITTED from the normal form when absent — pre-existing
+#: scenarios keep their canonical bytes (and runner cache keys).
+_CEIO_DEFAULTS: Tuple[Tuple[str, Any], ...] = (
+    ("admission_control", False),
+    ("admission_ring_limit", 256),
+    ("admission_slow_bytes_limit", 96 * 1024),
+)
+
+#: Per-tenant demand-block defaults (inside ``demand.tenants.<name>``).
+_DEMAND_TENANT_DEFAULTS: Tuple[Tuple[str, Any], ...] = (
+    ("arrivals", "poisson"),
+    ("mean_messages", 20.0),
+    ("shape", 1.5),
+    ("intra_gap_us", 2.0),
+    ("slo", {}),
+)
+
+_SLO_KEYS = ("p99_us", "p999_us", "p9999_us", "min_goodput_mpps")
+_ARRIVAL_KINDS = ("poisson", "sessions")
+
 
 class ScenarioError(ValueError):
     """A validation failure, addressed by path into the scenario dict."""
@@ -180,10 +201,27 @@ def _validate_topology(data: Any) -> Dict[str, Any]:
     return {"kind": kind, "params": params, "links": links}
 
 
+def _validate_ceio_override(data: Any, path: str) -> Dict[str, Any]:
+    """Per-host CEIO knob override: fully defaulted when present."""
+    data = _expect_mapping(data, path)
+    _reject_unknown(data, tuple(n for n, _ in _CEIO_DEFAULTS), path)
+    normal: Dict[str, Any] = {}
+    for name, default in _CEIO_DEFAULTS:
+        value = data.get(name, default)
+        sub = f"{path}.{name}"
+        if name == "admission_control":
+            if not isinstance(value, bool):
+                raise ScenarioError(sub, "must be a boolean")
+            normal[name] = value
+        else:
+            normal[name] = _pos_int(value, sub)
+    return normal
+
+
 def _validate_hosts(data: Any, servers: List[str]) -> Dict[str, Any]:
     data = _expect_mapping(data if data is not None else {}, "hosts")
     hosts: Dict[str, Any] = {}
-    allowed_keys = tuple(n for n, _ in _HOST_DEFAULTS)
+    allowed_keys = tuple(n for n, _ in _HOST_DEFAULTS) + ("ceio",)
     for host in data:
         path = f"hosts.{host}"
         if host != "*" and host not in servers:
@@ -192,6 +230,9 @@ def _validate_hosts(data: Any, servers: List[str]) -> Dict[str, Any]:
         entry = _expect_mapping(data[host], path)
         _reject_unknown(entry, allowed_keys, path)
         normal: Dict[str, Any] = {}
+        if "ceio" in entry:
+            normal["ceio"] = _validate_ceio_override(entry["ceio"],
+                                                     f"{path}.ceio")
         for name, default in _HOST_DEFAULTS:
             value = entry.get(name, default)
             sub = f"{path}.{name}"
@@ -289,6 +330,156 @@ def _validate_fault_plan(data: Any, servers: List[str]
     return specs
 
 
+def _validate_profile(data: Any, path: str) -> Dict[str, Any]:
+    """One rate profile, normalised to its ``to_dict`` form."""
+    from ..demand.profiles import PROFILE_KINDS, profile_from_dict
+
+    data = _expect_mapping(data, path)
+    if "kind" not in data:
+        raise ScenarioError(f"{path}.kind", "is required")
+    kind = _choice(data["kind"], PROFILE_KINDS, f"{path}.kind")
+    if kind == "steady":
+        _reject_unknown(data, ("kind", "rate_mpps"), path)
+        if "rate_mpps" not in data:
+            raise ScenarioError(f"{path}.rate_mpps", "is required")
+        _pos_number(data["rate_mpps"], f"{path}.rate_mpps")
+    elif kind == "diurnal":
+        _reject_unknown(data, ("kind", "base_mpps", "amplitude",
+                               "period_us", "phase_us"), path)
+        for key in ("base_mpps", "amplitude", "period_us"):
+            if key not in data:
+                raise ScenarioError(f"{path}.{key}", "is required")
+        _pos_number(data["base_mpps"], f"{path}.base_mpps")
+        amp = _nonneg_number(data["amplitude"], f"{path}.amplitude")
+        if amp >= 1.0:
+            raise ScenarioError(f"{path}.amplitude", "must be in [0, 1)")
+        _pos_number(data["period_us"], f"{path}.period_us")
+        if "phase_us" in data:
+            _nonneg_number(data["phase_us"], f"{path}.phase_us")
+    elif kind == "flash_crowd":
+        _reject_unknown(data, ("kind", "base_mpps", "peak_mpps", "start_us",
+                               "ramp_us", "hold_us", "decay_us"), path)
+        for key in ("base_mpps", "peak_mpps", "start_us", "ramp_us",
+                    "hold_us", "decay_us"):
+            if key not in data:
+                raise ScenarioError(f"{path}.{key}", "is required")
+        base = _pos_number(data["base_mpps"], f"{path}.base_mpps")
+        peak = _pos_number(data["peak_mpps"], f"{path}.peak_mpps")
+        if peak < base:
+            raise ScenarioError(f"{path}.peak_mpps",
+                                "must be >= base_mpps")
+        _nonneg_number(data["start_us"], f"{path}.start_us")
+        _pos_number(data["ramp_us"], f"{path}.ramp_us")
+        _nonneg_number(data["hold_us"], f"{path}.hold_us")
+        _pos_number(data["decay_us"], f"{path}.decay_us")
+    else:  # windows
+        _reject_unknown(data, ("kind", "windows"), path)
+        raw = data.get("windows")
+        if not isinstance(raw, list) or not raw:
+            raise ScenarioError(f"{path}.windows",
+                                "must be a non-empty array of windows")
+        spans = []
+        for j, win in enumerate(raw):
+            sub = f"{path}.windows[{j}]"
+            win = _expect_mapping(win, sub)
+            _reject_unknown(win, ("start_us", "end_us", "rate_mpps"), sub)
+            for key in ("start_us", "end_us", "rate_mpps"):
+                if key not in win:
+                    raise ScenarioError(f"{sub}.{key}", "is required")
+            start = _nonneg_number(win["start_us"], f"{sub}.start_us")
+            end = _pos_number(win["end_us"], f"{sub}.end_us")
+            if end <= start:
+                raise ScenarioError(f"{sub}.end_us",
+                                    "must exceed start_us")
+            _nonneg_number(win["rate_mpps"], f"{sub}.rate_mpps")
+            spans.append((start, end, j))
+        spans.sort()
+        for (s0, e0, j0), (s1, _e1, j1) in zip(spans, spans[1:]):
+            if s1 < e0:
+                raise ScenarioError(
+                    f"{path}.windows[{j1}]",
+                    f"overlaps windows[{j0}] "
+                    f"([{s0}, {e0}) vs start {s1})")
+        if all(win["rate_mpps"] == 0 for win in raw):
+            raise ScenarioError(f"{path}.windows",
+                                "need at least one positive rate")
+    try:
+        profile = profile_from_dict(data)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ScenarioError(path, str(exc)) from None
+    return profile.to_dict()
+
+
+def _validate_demand(data: Any,
+                     tenants: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """The optional open-loop ``demand`` block (see docs/WORKLOADS.md).
+
+    Omitted entirely from the normal form when absent, so pre-existing
+    closed-loop scenarios keep their canonical bytes and cache keys.
+    """
+    data = _expect_mapping(data, "demand")
+    _reject_unknown(data, ("window_us", "profiles", "tenants"), "demand")
+    window_us = _pos_number(data.get("window_us", 50.0), "demand.window_us")
+    if "profiles" not in data:
+        raise ScenarioError("demand.profiles", "is required")
+    raw_profiles = _expect_mapping(data["profiles"], "demand.profiles")
+    if not raw_profiles:
+        raise ScenarioError("demand.profiles", "must not be empty")
+    profiles = {
+        _string(name, f"demand.profiles.{name}"):
+            _validate_profile(raw_profiles[name], f"demand.profiles.{name}")
+        for name in raw_profiles
+    }
+    if "tenants" not in data:
+        raise ScenarioError("demand.tenants", "is required")
+    raw_tenants = _expect_mapping(data["tenants"], "demand.tenants")
+    if not raw_tenants:
+        raise ScenarioError("demand.tenants", "must not be empty")
+    tenant_names = [t["name"] for t in tenants]
+    allowed = ("profile",) + tuple(n for n, _ in _DEMAND_TENANT_DEFAULTS)
+    normal_tenants: Dict[str, Any] = {}
+    for name in raw_tenants:
+        path = f"demand.tenants.{name}"
+        if name not in tenant_names:
+            raise ScenarioError(
+                path, f"unknown tenant (tenants: {sorted(tenant_names)})")
+        entry = _expect_mapping(raw_tenants[name], path)
+        _reject_unknown(entry, allowed, path)
+        if "profile" not in entry:
+            raise ScenarioError(f"{path}.profile", "is required")
+        profile = _string(entry["profile"], f"{path}.profile")
+        if profile not in profiles:
+            raise ScenarioError(
+                f"{path}.profile",
+                f"unknown profile (profiles: {sorted(profiles)})")
+        normal: Dict[str, Any] = {"profile": profile}
+        for key, default in _DEMAND_TENANT_DEFAULTS:
+            value = entry.get(key, default)
+            sub = f"{path}.{key}"
+            if key == "arrivals":
+                normal[key] = _choice(value, _ARRIVAL_KINDS, sub)
+            elif key == "shape":
+                shape = _pos_number(value, sub)
+                if shape <= 1.0:
+                    raise ScenarioError(
+                        sub, "must exceed 1 (finite Pareto mean)")
+                normal[key] = shape
+            elif key == "slo":
+                slo = _expect_mapping(value, sub)
+                _reject_unknown(slo, _SLO_KEYS, sub)
+                normal[key] = {k: _pos_number(slo[k], f"{sub}.{k}")
+                               for k in sorted(slo)}
+            else:
+                normal[key] = _pos_number(value, sub)
+        normal_tenants[name] = normal
+    return {
+        "window_us": window_us,
+        "profiles": {name: profiles[name] for name in sorted(profiles)},
+        "tenants": {name: normal_tenants[name]
+                    for name in sorted(normal_tenants)},
+    }
+
+
 def _validate_measure(data: Any) -> Dict[str, float]:
     data = _expect_mapping(data if data is not None else {}, "measure")
     _reject_unknown(data, tuple(n for n, _ in _MEASURE_DEFAULTS), "measure")
@@ -303,7 +494,7 @@ def _validate_measure(data: Any) -> Dict[str, float]:
 # Public API
 # ----------------------------------------------------------------------
 _TOP_KEYS = ("version", "name", "seed", "topology", "hosts", "tenants",
-             "fault_plan", "measure")
+             "fault_plan", "measure", "demand")
 
 
 def validate(data: Any) -> Dict[str, Any]:
@@ -327,16 +518,22 @@ def validate(data: Any) -> Dict[str, Any]:
     servers = [spec.name for spec in topo.server_hosts]
     if "tenants" not in data:
         raise ScenarioError("tenants", "is required")
-    return {
+    tenants = _validate_tenants(data["tenants"], topo)
+    normal = {
         "version": SCHEMA_VERSION,
         "name": name,
         "seed": seed,
         "topology": topology,
         "hosts": _validate_hosts(data.get("hosts"), servers),
-        "tenants": _validate_tenants(data["tenants"], topo),
+        "tenants": tenants,
         "fault_plan": _validate_fault_plan(data.get("fault_plan"), servers),
         "measure": _validate_measure(data.get("measure")),
     }
+    # Optional open-loop demand: present in the normal form ONLY when the
+    # input declares it (closed-loop canonical bytes must not move).
+    if "demand" in data and data["demand"] is not None:
+        normal["demand"] = _validate_demand(data["demand"], tenants)
+    return normal
 
 
 def normalize(data: Any) -> Dict[str, Any]:

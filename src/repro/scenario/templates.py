@@ -116,12 +116,54 @@ def _all_to_all_storage() -> Dict[str, Any]:
     }
 
 
+def _flash_crowd() -> Dict[str, Any]:
+    """Open-loop flash crowd into a guarded CEIO receiver: demand ramps
+    32 -> 128 Mpps against an ~81 Mpps service ceiling while admission
+    control sheds the excess, holding the KV tenant's p99.9 flat (the
+    ``capacity`` experiment runs the no-guardrail ablation of this same
+    scenario to show the diverging tail)."""
+    return {
+        "version": 1,
+        "name": "flash-crowd",
+        "seed": 7,
+        "topology": {"kind": "star",
+                     "params": {"n_clients": 8, "n_servers": 1}},
+        "hosts": {"*": {"arch": "ceio", "cores": 16,
+                        "ceio": {"admission_control": True,
+                                 "admission_ring_limit": 64}}},
+        "tenants": [
+            {"name": "kv", "workload": "kvstore", "host": "s0",
+             "flows": 8, "payload": 144},
+            {"name": "bg", "workload": "kvstore", "host": "s0",
+             "flows": 2, "payload": 144},
+        ],
+        "demand": {
+            "window_us": 25.0,
+            "profiles": {
+                "crowd": {"kind": "flash_crowd", "base_mpps": 32.0,
+                          "peak_mpps": 128.0, "start_us": 200.0,
+                          "ramp_us": 50.0, "hold_us": 150.0,
+                          "decay_us": 50.0},
+                "trickle": {"kind": "steady", "rate_mpps": 2.0},
+            },
+            "tenants": {
+                "kv": {"profile": "crowd", "slo": {"p999_us": 50.0}},
+                "bg": {"profile": "trickle", "arrivals": "sessions",
+                       "mean_messages": 20.0, "shape": 1.5,
+                       "intra_gap_us": 2.0},
+            },
+        },
+        "measure": {"warmup_us": 150.0, "duration_us": 300.0},
+    }
+
+
 #: (name, builder) in catalog order.
 _BUILDERS: Tuple[Tuple[str, Any], ...] = (
     ("paper-baseline", _paper_baseline),
     ("incast-32", _incast_32),
     ("multi-tenant-ddio", _multi_tenant_ddio),
     ("all-to-all-storage", _all_to_all_storage),
+    ("flash-crowd", _flash_crowd),
 )
 
 TEMPLATE_NAMES: Tuple[str, ...] = tuple(name for name, _ in _BUILDERS)

@@ -17,9 +17,11 @@ __all__ = [
     "Counter",
     "TimeWeightedGauge",
     "Histogram",
+    "HistogramSnapshot",
     "RateMeter",
     "TimeSeries",
     "StatRegistry",
+    "percentile_from_counts",
 ]
 
 
@@ -97,6 +99,43 @@ class TimeWeightedGauge:
         return f"TimeWeightedGauge({self.name!r}, level={self._level})"
 
 
+class HistogramSnapshot:
+    """A frozen copy of a histogram's bucket counts at one instant.
+
+    Lets windowed samplers (repro.workloads.slo) compute percentiles over
+    the *delta* since the last sample without resetting the histogram the
+    measurement window owns.
+    """
+
+    __slots__ = ("counts", "count")
+
+    def __init__(self, counts: List[int], count: int):
+        self.counts = counts
+        self.count = count
+
+
+def percentile_from_counts(bounds: Sequence[float], counts: Sequence[int],
+                           p: float) -> float:
+    """Percentile over raw bucket counts (e.g. a snapshot delta).
+
+    Returns the upper bound of the bucket holding the p-th percentile —
+    without a per-window max to clamp to, this is a (tight) upper bound,
+    which is the conservative direction for SLO checks. 0 when empty.
+    """
+    if not 0 <= p <= 100:
+        raise ValueError("percentile p must be in [0, 100]")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    target = max(math.ceil(total * p / 100.0), 1)
+    cum = 0
+    for bound, n in zip(bounds, counts):
+        cum += n
+        if cum >= target:
+            return bound
+    return float(bounds[-1])
+
+
 class Histogram:
     """Log-linear bucket histogram with percentile queries.
 
@@ -167,6 +206,21 @@ class Histogram:
 
     def percentiles(self, ps: Sequence[float]) -> Dict[float, float]:
         return {p: self.percentile(p) for p in ps}
+
+    @property
+    def bounds(self) -> List[float]:
+        """Bucket upper bounds (shared by all default-built histograms)."""
+        return self._bounds
+
+    def snapshot(self) -> HistogramSnapshot:
+        """Freeze current bucket counts for later delta queries."""
+        return HistogramSnapshot(list(self._counts), self.count)
+
+    def delta_counts(self, since: Optional[HistogramSnapshot]) -> List[int]:
+        """Bucket counts accumulated since ``since`` (None = all)."""
+        if since is None:
+            return list(self._counts)
+        return [c - s for c, s in zip(self._counts, since.counts)]
 
     def merge(self, other: "Histogram") -> None:
         if len(other._counts) != len(self._counts):

@@ -10,10 +10,11 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import List
+from typing import Iterator, List
 
 __all__ = ["FixedSize", "UniformSize", "LognormalSize", "LongTailSize",
-           "poisson_arrivals", "pareto_burst_lengths"]
+           "poisson_arrival_times", "poisson_arrivals",
+           "pareto_burst_lengths"]
 
 
 class FixedSize:
@@ -87,17 +88,35 @@ class LongTailSize:
         return self.p_large * self.large + (1 - self.p_large) * self.small
 
 
-def poisson_arrivals(rng: random.Random, rate_per_ns: float,
-                     horizon: float) -> List[float]:
-    """Arrival timestamps of a Poisson process on [0, horizon)."""
+def poisson_arrival_times(rng: random.Random, rate_per_ns: float,
+                          horizon: float) -> Iterator[float]:
+    """Lazily yield the arrival timestamps of a Poisson process on
+    [0, horizon).
+
+    One ``expovariate`` draw per arrival, in timestamp order — the exact
+    draw sequence the old list-building implementation used, so existing
+    seeds reproduce identical schedules. Being a generator, a
+    million-event horizon costs O(1) memory instead of materialising the
+    whole list up front (the :mod:`repro.demand` layer builds on the
+    same idiom with time-varying rates).
+    """
     if rate_per_ns <= 0:
         raise ValueError("rate must be positive")
-    out: List[float] = []
     t = rng.expovariate(rate_per_ns)
     while t < horizon:
-        out.append(t)
+        yield t
         t += rng.expovariate(rate_per_ns)
-    return out
+
+
+def poisson_arrivals(rng: random.Random, rate_per_ns: float,
+                     horizon: float) -> List[float]:
+    """Arrival timestamps of a Poisson process on [0, horizon).
+
+    List-returning shim over :func:`poisson_arrival_times` for call
+    sites that index or len() the schedule; new code should iterate the
+    lazy form directly.
+    """
+    return list(poisson_arrival_times(rng, rate_per_ns, horizon))
 
 
 def pareto_burst_lengths(rng: random.Random, count: int,

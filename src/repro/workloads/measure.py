@@ -18,7 +18,38 @@ from ..net.packet import Flow, FlowKind
 from ..sim.stats import Histogram
 from ..sim.units import US, to_gbps, to_mpps
 
-__all__ = ["FlowMetrics", "Measurement", "MeasurementWindow"]
+__all__ = ["FlowMetrics", "Measurement", "MeasurementWindow", "TailStats"]
+
+
+@dataclass
+class TailStats:
+    """Latency tail summary down to p99.99, in microseconds.
+
+    Kept OUT of :class:`Measurement`'s declared fields on purpose: the
+    measurement's ``asdict`` form is pinned byte-for-byte by the golden
+    tests, and the tail summary only exists for demand-driven (open-loop)
+    runs — which attach it dynamically (``measurement.slo``) and through
+    ``extras``. p99.99 needs ~10^4 samples to mean anything; below that
+    the histogram clamps it to the observed max, which
+    :meth:`from_histogram` inherits (the quantile is always bounded by
+    the max recorded value).
+    """
+
+    p50_us: float
+    p99_us: float
+    p999_us: float
+    p9999_us: float
+
+    @classmethod
+    def from_histogram(cls, hist: Histogram) -> "TailStats":
+        return cls(p50_us=hist.percentile(50) / US,
+                   p99_us=hist.percentile(99) / US,
+                   p999_us=hist.percentile(99.9) / US,
+                   p9999_us=hist.percentile(99.99) / US)
+
+    def to_dict(self) -> Dict[str, float]:
+        return {"p50_us": self.p50_us, "p99_us": self.p99_us,
+                "p999_us": self.p999_us, "p9999_us": self.p9999_us}
 
 
 @dataclass

@@ -26,6 +26,8 @@ from ..apps.erpc import ErpcConfig, ErpcServer
 from ..apps.kvstore import KvStore
 from ..apps.linefs import LineFsServer
 from ..audit import Reconciler, build_fabric_ledger, record_report
+from ..demand import (DemandSource, ScaledProfile, poisson_times,
+                      profile_from_dict, session_times)
 from ..faults import FaultController
 from ..io_arch import build_arch
 from ..io_arch.shring import ShringConfig
@@ -36,6 +38,7 @@ from ..sim.units import US
 from ..topo import Fabric, HostEndpoint
 from .measure import Measurement, MeasurementWindow
 from .scenarios import scaled_host_config, shring_entries_for
+from .slo import SloTarget, SloTracker
 
 __all__ = ["TopoScenario", "compile_scenario"]
 
@@ -132,6 +135,12 @@ class TopoScenario:
         self.reconciler: Optional[Reconciler] = None
         self._built = False
         self._windows: Dict[str, MeasurementWindow] = {}
+        #: Open-loop demand (None for closed-loop scenarios — in which
+        #: case no demand source, SLO tracker, or extra RNG stream is
+        #: ever created, keeping goldens and shard digests unchanged).
+        self.demand_spec: Optional[Dict[str, Any]] = \
+            self.normal.get("demand")
+        self.slo_trackers: Dict[str, SloTracker] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -143,6 +152,10 @@ class TopoScenario:
                 "shring", endpoint.host,
                 config=ShringConfig(
                     ring_entries=shring_entries_for(host_config)))
+        if cfg["arch"] == "ceio" and "ceio" in cfg:
+            from ..core.config import CeioConfig
+            return build_arch("ceio", endpoint.host,
+                              config=CeioConfig(**cfg["ceio"]))
         return build_arch(cfg["arch"], endpoint.host)
 
     def build(self) -> "TopoScenario":
@@ -155,6 +168,8 @@ class TopoScenario:
             for i in range(tenant["flows"]):
                 self._add_tenant_flow(tenant, f"{tenant['name']}{i}",
                                       sources[i % len(sources)])
+        if self.demand_spec is not None:
+            self._build_slo_trackers()
         plan = fault_plan_of(self.normal)
         if plan:
             # net.channel specs belong to the shard coordinator's
@@ -232,9 +247,14 @@ class TopoScenario:
             source = None
             if local_src:
                 with fabric.host_domain(src):
-                    source = SaturatingSource(
-                        fabric.sim, sender,
-                        outstanding=tenant["outstanding"])
+                    if self._demand_entry(tenant) is not None:
+                        source = DemandSource(
+                            fabric.sim, sender,
+                            self._demand_arrivals(tenant, name))
+                    else:
+                        source = SaturatingSource(
+                            fabric.sim, sender,
+                            outstanding=tenant["outstanding"])
         else:
             flow = Flow(FlowKind.CPU_INVOLVED, name=name,
                         message_payload=tenant["payload"],
@@ -256,7 +276,11 @@ class TopoScenario:
             source = None
             if local_src:
                 with fabric.host_domain(src):
-                    if tenant["open_loop_mpps"] is not None:
+                    if self._demand_entry(tenant) is not None:
+                        source = DemandSource(
+                            fabric.sim, sender,
+                            self._demand_arrivals(tenant, name))
+                    elif tenant["open_loop_mpps"] is not None:
                         rate = (tenant["open_loop_mpps"] * 1e-3
                                 / max(1, tenant["flows"]))
                         source = OpenLoopSource(
@@ -267,6 +291,13 @@ class TopoScenario:
                         source = SaturatingSource(
                             fabric.sim, sender,
                             outstanding=tenant["outstanding"])
+        # Demand-driven flows measure latency from message *submission*
+        # (coordinated-omission fix: sender-side queueing under open-loop
+        # overload lands in the tail instead of vanishing).
+        if endpoint is not None and self._demand_entry(tenant) is not None:
+            rx = endpoint.io_arch.flows.get(flow.flow_id)
+            if rx is not None:
+                rx.latency_from_submit = True
         # The stagger draw advances the destination host's stream on
         # every shard, local or not: later flows toward the same host
         # must see the same stream position everywhere.
@@ -280,6 +311,58 @@ class TopoScenario:
                       else self.involved)
             bucket[host].append(record)
         return record
+
+    def _demand_entry(self, tenant: Mapping[str, Any]
+                      ) -> Optional[Dict[str, Any]]:
+        """The tenant's normalised ``demand.tenants`` entry, if any."""
+        if self.demand_spec is None:
+            return None
+        return self.demand_spec["tenants"].get(tenant["name"])
+
+    def _demand_arrivals(self, tenant: Mapping[str, Any], flow_name: str):
+        """Lazy arrival-timestamp iterator for one flow of a demand
+        tenant: the tenant-aggregate profile scaled down to the flow,
+        sampled from the destination host's ``demand-<flow>`` stream (a
+        stream per flow, never a materialised list — million-event
+        horizons stay O(1) memory)."""
+        entry = self._demand_entry(tenant)
+        profile = profile_from_dict(
+            self.demand_spec["profiles"][entry["profile"]])
+        per_flow = ScaledProfile(profile, 1.0 / max(1, tenant["flows"]))
+        rng = self.fabric.host_rng(tenant["host"]).stream(  # repro: noqa=D109 -- per-flow stream; name comes from the validated scenario spec key
+            f"demand-{flow_name}")
+        if entry["arrivals"] == "sessions":
+            return session_times(rng, per_flow,
+                                 mean_messages=entry["mean_messages"],
+                                 shape=entry["shape"],
+                                 intra_gap_ns=entry["intra_gap_us"] * US)
+        return poisson_times(rng, per_flow)
+
+    def _build_slo_trackers(self) -> None:
+        """One tracker per (local) server host observing demand tenants.
+
+        Created at build() time — ``open_windows`` must never schedule
+        events (shard contract), so sampling runs from t=0 and
+        ``summary(since=...)`` filters to the measure window later."""
+        window = self.demand_spec["window_us"] * US
+        for host in sorted(self.fabric.endpoints):
+            endpoint = self.fabric.endpoints[host]
+            records = [rec for rec in
+                       self.involved[host] + self.bypass[host]
+                       if rec.tenant["name"] in self.demand_spec["tenants"]]
+            if not records:
+                continue
+            with self.fabric.host_domain(host):
+                tracker = SloTracker(self.fabric.sim, window,
+                                     name=f"{host}.slo")
+                for rec in records:
+                    entry = self.demand_spec["tenants"][rec.tenant["name"]]
+                    target = (SloTarget(**entry["slo"])
+                              if entry["slo"] else None)
+                    rx = endpoint.io_arch.flows.get(rec.flow.flow_id)
+                    if rx is not None:
+                        tracker.watch(rec.tenant["name"], rx, target)
+            self.slo_trackers[host] = tracker
 
     def _stagger(self, host: str) -> float:
         """Per-host client stagger (the legacy unprefixed stream on a
@@ -364,8 +447,35 @@ class TopoScenario:
             measurement = window.finish()
             measurement.extras.update(
                 _arch_extras(self.fabric.endpoints[name].io_arch))
+            if self.demand_spec is not None:
+                self._attach_slo(name, window, measurement)
             results[name] = measurement
         return results
+
+    def _attach_slo(self, name: str, window: MeasurementWindow,
+                    measurement: Measurement) -> None:
+        """Demand-only measurement surface: admission counters plus the
+        per-tenant SLO summary. Attached via ``extras`` keys and a
+        dynamic ``measurement.slo`` attribute — never new dataclass
+        fields, so closed-loop ``asdict`` bytes (and the goldens pinned
+        on them) cannot move."""
+        arch = self.fabric.endpoints[name].io_arch
+        measurement.extras["offered"] = arch.rx_offered.value
+        measurement.extras["shed"] = arch.rx_shed.value
+        tracker = self.slo_trackers.get(name)
+        if tracker is None:
+            return
+        summary = tracker.summary(since=window.t_start)
+        measurement.slo = summary
+        for tenant in sorted(summary):
+            stats = summary[tenant]
+            if not stats.get("windows"):
+                continue
+            prefix = f"slo.{tenant}."
+            for key in ("goodput_mpps", "p99_us", "p999_us", "p9999_us",
+                        "shed"):
+                measurement.extras[prefix + key] = float(stats[key])
+            measurement.extras[prefix + "ok"] = 1.0 if stats["ok"] else 0.0
 
     def _run(self, until: float) -> None:
         """Advance the simulation with periodic conservation barriers

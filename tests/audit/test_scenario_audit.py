@@ -26,8 +26,8 @@ def _drop_plan(magnitude=1.0):
 
 
 @pytest.mark.parametrize("arch,n_accounts", [
-    ("ceio", 18), ("baseline", 14), ("shring", 15), ("mpq", 15),
-    ("hostcc", 14),
+    ("ceio", 19), ("baseline", 15), ("shring", 16), ("mpq", 16),
+    ("hostcc", 15),
 ])
 def test_healthy_run_balances(arch, n_accounts):
     scenario = _scenario(arch)

@@ -1,0 +1,68 @@
+"""Capacity experiment: point identity, worker determinism (``--jobs``
+byte-identity through the pool), and flash-crowd guardrail behaviour."""
+
+import json
+
+import pytest
+
+from repro.experiments import capacity
+from repro.runner import PoolConfig, WorkerPool
+from repro.runner.sweep import run_points_serial
+from repro.scenario import canonical, template
+
+
+def test_points_cover_searches_and_flash_pair():
+    pts = capacity.points(quick=True)
+    assert [p.label for p in pts] == [
+        "search.baseline", "search.ceio", "flash.guarded",
+        "flash.unguarded"]
+    assert len({p.content_key for p in pts}) == len(pts)
+    for point in pts:
+        assert point.seed == capacity.DEFAULT_SEED
+
+
+def test_flash_points_carry_canonical_scenario_identity():
+    pts = {p.label: p for p in capacity.points(quick=True)}
+    guarded = template("flash-crowd")
+    guarded["seed"] = capacity.DEFAULT_SEED
+    assert pts["flash.guarded"].scenario == canonical(guarded)
+    unguarded = template("flash-crowd")
+    unguarded["seed"] = capacity.DEFAULT_SEED
+    del unguarded["hosts"]["*"]["ceio"]
+    assert pts["flash.unguarded"].scenario == canonical(unguarded)
+    assert pts["flash.guarded"].scenario != pts["flash.unguarded"].scenario
+
+
+@pytest.mark.slow
+def test_flash_pair_through_pool_matches_serial_byte_for_byte():
+    pts = [p for p in capacity.points(quick=True)
+           if p.params["mode"] == "flash"]
+    serial = run_points_serial(pts)
+    pool = WorkerPool(PoolConfig(jobs=2))
+    outcomes = pool.run(pts)
+    assert all(o.ok for o in outcomes)
+    pooled = {o.point.point_id: o.value for o in outcomes}
+    assert json.dumps(pooled, sort_keys=True) \
+        == json.dumps(serial, sort_keys=True)
+
+
+@pytest.mark.slow
+def test_flash_guardrails_bound_the_tail():
+    guarded = capacity.run_point({"mode": "flash", "guarded": True},
+                                 seed=capacity.DEFAULT_SEED)
+    again = capacity.run_point({"mode": "flash", "guarded": True},
+                               seed=capacity.DEFAULT_SEED)
+    assert guarded == again
+    unguarded = capacity.run_point({"mode": "flash", "guarded": False},
+                                   seed=capacity.DEFAULT_SEED)
+    assert guarded["audit_ok"] and unguarded["audit_ok"]
+    # Guardrails: shed > 0, SLO met, every overload window's p99.9 under
+    # the target. Ablation: nothing shed, tail diverges past the target.
+    assert guarded["shed"] > 0 and guarded["ok"]
+    assert guarded["worst_p999_us"] <= capacity.SLO_P999_US
+    assert unguarded["shed"] == 0 and not unguarded["ok"]
+    assert unguarded["worst_p999_us"] > capacity.SLO_P999_US
+    assert unguarded["trail_p999_us"][-1] > guarded["trail_p999_us"][-1]
+    # Shedding never costs goodput: both deliver the same service rate.
+    assert guarded["goodput_mpps"] == pytest.approx(
+        unguarded["goodput_mpps"], rel=0.01)

@@ -66,7 +66,7 @@ def test_registry_lists_all_paper_artifacts():
     expected = {"fig04a", "fig04b", "fig09", "fig10a", "fig10b",
                 "fig11", "fig12", "table2", "table3", "table4",
                 "limits", "ablations", "lessons", "chaos", "soak",
-                "incast", "shard_chaos"}
+                "incast", "shard_chaos", "capacity"}
     assert expected == set(EXPERIMENTS)
 
 

@@ -20,9 +20,13 @@ def test_sample_size_and_shape():
     assert len({p.point_id for p in pts}) == len(pts)
     archs = {p.params["arch"] for p in pts}
     assert archs == set(soak.ARCHES)
-    assert any(p.params["faults"] for p in pts)
-    assert any(not p.params["faults"] for p in pts)
+    assert any(p.params.get("faults") for p in pts)
+    assert any(p.params.get("mode") != "demand" and not p.params["faults"]
+               for p in pts)
     for p in pts:
+        if "faults" not in p.params:
+            assert not p.faults
+            continue
         plan = FaultPlan.from_dicts(p.params["faults"])
         assert p.faults == plan.canonical()
         for spec in plan:
@@ -31,15 +35,30 @@ def test_sample_size_and_shape():
     assert len(soak.points(quick=False)) > len(pts)
 
 
+def test_sample_includes_demand_points():
+    pts = soak.points(quick=True)
+    demand = [p for p in pts if p.params.get("mode") == "demand"]
+    assert len(demand) == soak.N_DEMAND_QUICK
+    # Index 0 is pinned to guarded ceio so every sample soaks the
+    # admission/shedding reconciliation path.
+    assert demand[0].params["arch"] == "ceio"
+    assert demand[0].params["guarded"] is True
+    for p in demand:
+        assert p.params["profile"]["kind"] in soak._DEMAND_PROFILES
+        assert p.params["arrivals"] in soak._DEMAND_ARRIVALS
+        assert "faults" not in p.params
+
+
 def test_at_most_one_crash_per_plan():
     for p in soak.points(quick=False):
-        crashes = sum(1 for f in p.params["faults"]
+        crashes = sum(1 for f in p.params.get("faults", [])
                       if f["kind"] == "crash_restart")
         assert crashes <= 1
 
 
 def test_faulted_sample_point_runs_clean():
-    point = next(p for p in soak.points(quick=True) if p.params["faults"])
+    point = next(p for p in soak.points(quick=True)
+                 if p.params.get("faults"))
     value = soak.run_point(dict(point.params), point.seed)
     assert value["checked"] > 0
     assert value["violations"] == []

@@ -156,3 +156,118 @@ def test_invalid_field_is_rejected_with_path(build, path):
     # the offending field without a stack trace.
     if path:
         assert str(err.value).startswith(path)
+
+
+# ----------------------------------------------------------------------
+# Open-loop demand block (see docs/WORKLOADS.md)
+# ----------------------------------------------------------------------
+def _demand(profile=None, tenant=None, **block):
+    """A valid two-tenant spec with a demand block, then mutated."""
+    spec = _base(tenants=[{"name": "kv", "workload": "kvstore"},
+                          {"name": "bg", "workload": "kvstore"}])
+    spec["demand"] = {
+        "profiles": {"p0": profile if profile is not None
+                     else {"kind": "steady", "rate_mpps": 4.0}},
+        "tenants": {"kv": tenant if tenant is not None
+                    else {"profile": "p0"}},
+    }
+    spec["demand"].update(block)
+    return spec
+
+
+def test_demand_block_normalises_and_round_trips():
+    normal = validate(_demand())
+    assert normal["demand"]["window_us"] == 50.0
+    entry = normal["demand"]["tenants"]["kv"]
+    assert entry["arrivals"] == "poisson"
+    assert entry["slo"] == {}
+    c = canonical(_demand())
+    assert canonical(json.loads(c)) == c
+    assert validate(normal) == normal
+
+
+def test_absent_demand_block_is_omitted_from_normal_form():
+    """Closed-loop scenarios keep their canonical bytes: no ``demand``
+    key appears unless the input declared one."""
+    assert "demand" not in validate(_base())
+    assert '"demand"' not in canonical(_base())
+
+
+def test_ceio_override_normalises():
+    spec = _base(hosts={"s0": {"ceio": {"admission_control": True}}})
+    normal = validate(spec)
+    assert normal["hosts"]["s0"]["ceio"] == {
+        "admission_control": True,
+        "admission_ring_limit": 256,
+        "admission_slow_bytes_limit": 96 * 1024,
+    }
+    assert "ceio" not in validate(_base()).get("hosts", {}).get("*", {})
+
+
+DEMAND_REJECTIONS = [
+    (lambda: _demand(bogus=1), "demand.bogus"),
+    (lambda: _demand(window_us=0), "demand.window_us"),
+    (lambda: _demand(profiles={}), "demand.profiles"),
+    (lambda: _demand(tenants={}), "demand.tenants"),
+    (lambda: _demand(tenants={"ghost": {"profile": "p0"}}),
+     "demand.tenants.ghost"),
+    (lambda: _demand(tenant={"profile": "nope"}),
+     "demand.tenants.kv.profile"),
+    (lambda: _demand(tenant={"profile": "p0", "bogus": 1}),
+     "demand.tenants.kv.bogus"),
+    (lambda: _demand(tenant={"profile": "p0", "arrivals": "uniform"}),
+     "demand.tenants.kv.arrivals"),
+    (lambda: _demand(tenant={"profile": "p0", "shape": 1.0}),
+     "demand.tenants.kv.shape"),
+    (lambda: _demand(tenant={"profile": "p0",
+                             "slo": {"p999_ms": 1.0}}),
+     "demand.tenants.kv.slo.p999_ms"),
+    (lambda: _demand(tenant={"profile": "p0",
+                             "slo": {"p999_us": -5.0}}),
+     "demand.tenants.kv.slo.p999_us"),
+    (lambda: _demand(profile={"kind": "trapezoid"}),
+     "demand.profiles.p0.kind"),
+    (lambda: _demand(profile={"kind": "steady"}),
+     "demand.profiles.p0.rate_mpps"),
+    (lambda: _demand(profile={"kind": "steady", "rate_mpps": -4.0}),
+     "demand.profiles.p0.rate_mpps"),
+    (lambda: _demand(profile={"kind": "steady", "rate_mpps": 4.0,
+                              "peak_mpps": 8.0}),
+     "demand.profiles.p0.peak_mpps"),
+    (lambda: _demand(profile={"kind": "diurnal", "base_mpps": 4.0,
+                              "amplitude": 1.5, "period_us": 100.0}),
+     "demand.profiles.p0.amplitude"),
+    (lambda: _demand(profile={"kind": "flash_crowd", "base_mpps": 8.0,
+                              "peak_mpps": 4.0, "start_us": 0.0,
+                              "ramp_us": 1.0, "hold_us": 1.0,
+                              "decay_us": 1.0}),
+     "demand.profiles.p0.peak_mpps"),
+    (lambda: _demand(profile={"kind": "windows", "windows": []}),
+     "demand.profiles.p0.windows"),
+    (lambda: _demand(profile={"kind": "windows", "windows": [
+        {"start_us": 0.0, "end_us": 10.0, "rate_mpps": 0.0}]}),
+     "demand.profiles.p0.windows"),
+    (lambda: _demand(profile={"kind": "windows", "windows": [
+        {"start_us": 0.0, "end_us": 10.0, "rate_mpps": 4.0},
+        {"start_us": 5.0, "end_us": 15.0, "rate_mpps": 2.0}]}),
+     "demand.profiles.p0.windows[1]"),
+    (lambda: _demand(profile={"kind": "windows", "windows": [
+        {"start_us": 10.0, "end_us": 5.0, "rate_mpps": 4.0}]}),
+     "demand.profiles.p0.windows[0].end_us"),
+    (lambda: _base(hosts={"s0": {"ceio": {"bogus": 1}}}),
+     "hosts.s0.ceio.bogus"),
+    (lambda: _base(hosts={"s0": {"ceio": {"admission_control": 1}}}),
+     "hosts.s0.ceio.admission_control"),
+    (lambda: _base(hosts={"s0": {"ceio": {"admission_ring_limit": 0}}}),
+     "hosts.s0.ceio.admission_ring_limit"),
+]
+
+
+@pytest.mark.parametrize("build,path",
+                         DEMAND_REJECTIONS,
+                         ids=[path for _, path in DEMAND_REJECTIONS])
+def test_invalid_demand_field_is_rejected_with_path(build, path):
+    with pytest.raises(ScenarioError) as err:
+        validate(build())
+    assert err.value.path == path
+    assert str(err.value).startswith(path)

@@ -8,7 +8,8 @@ from repro.scenario import (TEMPLATE_NAMES, describe, incast_template,
 
 def test_catalog_names_and_order():
     assert TEMPLATE_NAMES == ("paper-baseline", "incast-32",
-                              "multi-tenant-ddio", "all-to-all-storage")
+                              "multi-tenant-ddio", "all-to-all-storage",
+                              "flash-crowd")
 
 
 @pytest.mark.parametrize("name", TEMPLATE_NAMES)

@@ -21,8 +21,12 @@ from repro.sim.units import US
 from repro.workloads import Scenario, ScenarioConfig
 from repro.workloads.topo_scenario import compile_scenario
 
+# Recaptured when the overload-guardrail work added the ``arch.admission``
+# conservation account: the measurement's embedded audit report grew from
+# 18 to 19 checked accounts (simulation draws and event order unchanged —
+# only the report schema moved).
 GOLDEN_TWO_HOST = \
-    "40005acff7401b6761b82f7159009e1ae843ac468fbc65fc59e204d633d6a42c"
+    "049aaa96b1eb4e9c624cd26c5165b8b5b1a2c6fa5e01a5f31b4189113b7a57c3"
 
 WARMUP_US, DURATION_US = 150.0, 250.0
 
@@ -53,13 +57,13 @@ def test_two_host_fabric_uses_legacy_names():
     spec = template("paper-baseline")
     scenario = compile_scenario(spec)
     # Single-server two_host topologies keep unprefixed RNG streams and
-    # audit account names; the audit is the legacy 18-account ledger and
-    # there are no interior switch ports.
+    # audit account names; the audit is the legacy 19-account ledger
+    # (18 + arch.admission) and there are no interior switch ports.
     endpoint = scenario.fabric.endpoints["host"]
     assert endpoint.port.name == "tor"
     assert scenario.fabric.legacy
     assert scenario.fabric.interior_ports() == []
-    assert len(scenario.reconciler.ledger.accounts) == 18
+    assert len(scenario.reconciler.ledger.accounts) == 19
 
 
 if __name__ == "__main__":

@@ -1,0 +1,99 @@
+"""Extreme-tail statistics: ``TailStats`` and histogram merge parity.
+
+The SLO layer asserts p99.99, one order deeper than the closed-loop
+reports — these tests pin the properties that make that quantile
+trustworthy: merging per-shard histograms is lossless for every
+quantile (merged == single-histogram percentiles, bucket for bucket),
+out-of-range samples clamp into the last bucket instead of vanishing,
+and every reported quantile is bounded by the recorded range's bucket
+ceiling.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.stats import Histogram, percentile_from_counts
+from repro.sim.units import US
+from repro.workloads.measure import TailStats
+
+QS = (50.0, 99.0, 99.9, 99.99)
+
+samples = st.lists(st.floats(1.0, 5e7), min_size=1, max_size=400)
+
+
+def _hist():
+    return Histogram(lo=10.0, hi=1e8)
+
+
+@given(chunks=st.lists(samples, min_size=2, max_size=6))
+@settings(max_examples=80, deadline=None)
+def test_merged_histogram_matches_single_at_every_quantile(chunks):
+    """Shard merge parity: recording each chunk into its own histogram
+    and merging gives byte-identical buckets — hence identical p50
+    through p99.99 — to recording everything into one histogram."""
+    single = _hist()
+    parts = []
+    for chunk in chunks:
+        part = _hist()
+        for value in chunk:
+            single.record(value)
+            part.record(value)
+        parts.append(part)
+    merged = _hist()
+    for part in parts:
+        merged.merge(part)
+    assert merged.delta_counts(None) == single.delta_counts(None)
+    assert merged.count == single.count
+    for q in QS:
+        assert merged.percentile(q) == single.percentile(q)
+
+
+@given(values=samples)
+@settings(max_examples=80, deadline=None)
+def test_quantiles_monotone_and_bounded(values):
+    hist = _hist()
+    for value in values:
+        hist.record(value)
+    ps = [hist.percentile(q) for q in QS]
+    assert all(a <= b for a, b in zip(ps, ps[1:]))
+    # Quantiles clamp to the recorded max (upper-bound semantics capped
+    # by the actual sample range), never to the histogram's range.
+    top = hist.percentile(100.0)
+    assert ps[-1] <= top <= max(values)
+
+
+def test_out_of_range_samples_clamp_into_last_bucket():
+    hist = Histogram(lo=1.0, hi=1_000.0)
+    hist.record(10.0)
+    hist.record(1e12)  # far beyond hi: clamped, not dropped
+    assert hist.count == 2
+    assert hist.percentile(99.99) == hist.bounds[-1]
+    assert math.isfinite(hist.percentile(99.99))
+
+
+def test_tailstats_from_histogram_reports_microseconds():
+    hist = Histogram(lo=10.0, hi=1e8)
+    for _ in range(4999):
+        hist.record(5.0 * US)
+    hist.record(400.0 * US)
+    stats = TailStats.from_histogram(hist)
+    assert stats.p50_us <= stats.p99_us <= stats.p999_us <= stats.p9999_us
+    # The single outlier is 1 in 5000: invisible at p99.9 (rank 4996 of
+    # 5000), dominant at p99.99 (rank 5000).
+    assert stats.p999_us < 50.0
+    assert stats.p9999_us >= 400.0
+    data = stats.to_dict()
+    assert set(data) == {"p50_us", "p99_us", "p999_us", "p9999_us"}
+
+
+def test_percentile_from_counts_empty_and_validation():
+    bounds = [1.0, 2.0, 4.0]
+    assert percentile_from_counts(bounds, [0, 0, 0], 99.9) == 0.0
+    assert percentile_from_counts(bounds, [1, 0, 1], 100.0) == 4.0
+    try:
+        percentile_from_counts(bounds, [1, 0, 1], 101.0)
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("p > 100 must be rejected")
